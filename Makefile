@@ -1,0 +1,41 @@
+# Convenience targets for the reproduction repo.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-quick examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=0.25 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/search_engine_trace.py
+	$(PYTHON) examples/photo_album_cluster.py
+	$(PYTHON) examples/multitier_service.py
+	$(PYTHON) examples/failure_resilience.py
+
+figures:
+	$(PYTHON) -m repro table1
+	$(PYTHON) -m repro fig2
+	$(PYTHON) -m repro fig3
+	$(PYTHON) -m repro fig4
+	$(PYTHON) -m repro fig6
+	$(PYTHON) -m repro table2
+	$(PYTHON) -m repro profile
+	$(PYTHON) -m repro messages
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/output build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

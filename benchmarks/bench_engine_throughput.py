@@ -1,0 +1,80 @@
+"""Kernel microbenchmarks: event throughput of the DES engine.
+
+These use pytest-benchmark the conventional way (repeated timed rounds)
+and exist to keep the hot path honest — the figure benches above are
+end-to-end and would hide a 2x kernel regression inside noise.
+"""
+
+import numpy as np
+
+from repro.cluster import Request, ServerNode
+from repro.sim import Simulator
+
+
+def test_schedule_execute_throughput(benchmark):
+    """Raw schedule+execute cycle for 20k timer events."""
+
+    def run():
+        sim = Simulator()
+        noop = lambda: None  # noqa: E731
+        for i in range(20_000):
+            sim.after(i * 1e-6, noop)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 20_000
+
+
+def test_event_chain_throughput(benchmark):
+    """Self-scheduling chain (the arrival-loop pattern)."""
+
+    def run():
+        sim = Simulator()
+        remaining = [20_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.after(1e-6, tick)
+
+        sim.after(1e-6, tick)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 20_000
+
+
+def test_cancel_heavy_workload(benchmark):
+    """Half the events cancelled (the timeout-handling pattern)."""
+
+    def run():
+        sim = Simulator()
+        handles = [sim.after(i * 1e-6, lambda: None) for i in range(20_000)]
+        for handle in handles[::2]:
+            sim.cancel(handle)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_server_node_throughput(benchmark):
+    """End-to-end FIFO server servicing 10k requests."""
+    rng = np.random.default_rng(0)
+    gaps = rng.exponential(1e-3, 10_000)
+    arrivals = np.cumsum(gaps)
+    services = rng.exponential(0.8e-3, 10_000)
+
+    def run():
+        sim = Simulator()
+        server = ServerNode(sim, 0)
+        done = [0]
+        server.on_complete = lambda s, r: done.__setitem__(0, done[0] + 1)
+        for i in range(10_000):
+            sim.at(float(arrivals[i]), server.enqueue,
+                   Request(i, 9, float(services[i]), float(arrivals[i])))
+        sim.run()
+        return done[0]
+
+    assert benchmark(run) == 10_000

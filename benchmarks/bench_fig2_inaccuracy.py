@@ -1,0 +1,54 @@
+"""Figure 2: impact of delay on load-index inaccuracy (1 server).
+
+Paper shape: at 50% load the inaccuracy rises quickly to a moderate
+plateau (the Eq. 1 bound, 1.33 for Poisson/Exp); at 90% load it keeps
+growing and reaches ~3 around a delay of 10 mean service times.
+"""
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis import eq1_upperbound
+from repro.experiments.figures import figure2_inaccuracy
+from repro.experiments.report import format_series
+
+
+def test_fig2(benchmark, report):
+    delays = (0.0, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 100.0)
+    data = run_once(
+        benchmark,
+        lambda: figure2_inaccuracy(
+            delays_normalized=delays,
+            n_requests=scaled(300_000, minimum=50_000),
+            seed=0,
+        ),
+    )
+    sections = []
+    for load in (0.9, 0.5):
+        series = {}
+        for workload in dict.fromkeys(data.table.column("workload")):
+            rows = [
+                r for r in data.table.rows
+                if r["load"] == load and r["workload"] == workload
+            ]
+            series[workload] = [r["inaccuracy"] for r in rows]
+        bound = eq1_upperbound(load)
+        sections.append(
+            f"<server {load:.0%} busy>  Eq.1 upper bound (Poisson/Exp): {bound:.2f}\n"
+            + format_series("delay/mean_service", list(delays), series)
+        )
+    report("fig2_inaccuracy", "== Figure 2 ==\n" + "\n\n".join(sections))
+
+    # Shape assertions: monotone growth toward the bound; 90% >> 50%.
+    poisson_rows_90 = [
+        r["inaccuracy"] for r in data.table.rows
+        if r["load"] == 0.9 and "Poisson" in r["workload"]
+    ]
+    poisson_rows_50 = [
+        r["inaccuracy"] for r in data.table.rows
+        if r["load"] == 0.5 and "Poisson" in r["workload"]
+    ]
+    assert poisson_rows_90[0] == 0.0
+    assert poisson_rows_90[-1] > 3.0 * poisson_rows_50[-1]
+    assert abs(poisson_rows_50[-1] - eq1_upperbound(0.5)) < 0.25
+    # At delay ~10 service times and 90% load the error is already ~3.
+    index_10 = list((0.0, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 100.0)).index(10.0)
+    assert poisson_rows_90[index_10] > 2.0

@@ -1,0 +1,27 @@
+"""§3.2 poll-delay profile.
+
+Paper: "a typical run under a poll size of 3, a server load index of
+90%, and 16 server nodes ... 8.1% of the polls are not completed within
+10 ms and 5.6% of them are not completed within 20 ms."
+"""
+
+from benchmarks.conftest import run_once, scaled
+from repro.experiments.figures import poll_profile_section32
+
+
+def test_poll_profile(benchmark, report):
+    profile, result = run_once(
+        benchmark,
+        lambda: poll_profile_section32(n_requests=scaled(25_000), seed=0),
+    )
+    text = (
+        "== §3.2 poll profile (d=3, 90% load, 16 servers) ==\n"
+        f"{profile.row()}\n"
+        f"paper: >10ms: 8.10%   >20ms: 5.60%\n"
+        f"(nominal rho at this operating point: {result.nominal_rho:.3f})"
+    )
+    report("poll_profile", text)
+
+    assert abs(profile.frac_over_10ms - 0.081) < 0.03
+    assert abs(profile.frac_over_20ms - 0.056) < 0.025
+    assert profile.frac_over_20ms < profile.frac_over_10ms

@@ -1,0 +1,28 @@
+"""Table 1: statistics of the evaluation traces.
+
+Regenerates the synthesized Fine-Grain and Medium-Grain traces at their
+full peak-portion sizes and reports their moments next to the published
+targets (see DESIGN.md §5 for the OCR disambiguation).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import table1_traces
+from repro.workload.synthesis import FINE_GRAIN_SPEC, MEDIUM_GRAIN_SPEC
+
+
+def test_table1(benchmark, report):
+    data = run_once(benchmark, lambda: table1_traces(seed=0))
+    lines = [data.render(), "", "published targets:"]
+    for spec in (MEDIUM_GRAIN_SPEC, FINE_GRAIN_SPEC):
+        lines.append(
+            f"  {spec.name:<20s} arrival {spec.arrival_interval_mean * 1e3:6.1f}/"
+            f"{spec.arrival_interval_std * 1e3:6.1f} ms   service "
+            f"{spec.service_time_mean * 1e3:5.1f}/{spec.service_time_std * 1e3:5.1f} ms"
+        )
+    report("table1_traces", "\n".join(lines))
+
+    rows = {row["workload"]: row for row in data.table.rows}
+    fine = rows[FINE_GRAIN_SPEC.name]
+    assert abs(fine["service_mean_ms"] - 22.2) < 1.0
+    medium = rows[MEDIUM_GRAIN_SPEC.name]
+    assert abs(medium["service_mean_ms"] - 28.9) < 1.5

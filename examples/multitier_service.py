@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The complete Figure 1 cluster on the application framework.
+
+Reproduces the paper's motivating deployment with service *handlers*
+(Neptune's RPC-like access methods) and nested, load-balanced calls:
+
+- **image store** — partitioned in two groups (images 0-9 / 10-19),
+  each replicated x3; pure compute.
+- **photo album** — replicated x3; renders a page: own compute plus a
+  nested call into the image-store partition holding the image.
+- **discussion group** — replicated x3, partitioned x2; delivered
+  independently (no dependencies).
+- **web servers / WAP gateways** — external clients submitting a mixed
+  workload of album pages and discussion reads.
+
+Every access (external or nested) is balanced with random polling
+(d=2) over its replica group. Prints per-service latency and the
+replica load split.
+
+Usage:  python examples/multitier_service.py
+"""
+
+import numpy as np
+
+from repro.cluster import ApplicationCluster, ServiceSpec, call, compute
+
+N_PAGES = 4000
+PAGE_RATE = 160.0         # album page loads/s
+DISCUSSION_RATE = 240.0   # discussion reads/s
+
+
+def image_store(ctx, request):
+    """Fetch an image: ~15 ms of CPU (decode + I/O emulated)."""
+    yield compute(float(request.payload["rng"]) * 2 * 15e-3)
+    return {"image": request.payload["image_id"]}
+
+
+def photo_album(ctx, request):
+    """Render an album page: 5 ms layout + one image fetch + 3 ms."""
+    yield compute(5e-3)
+    image_id = request.payload["image_id"]
+    image = yield call(
+        "image_store",
+        partition=0 if image_id < 10 else 1,
+        payload={"image_id": image_id, "rng": request.payload["rng"]},
+    )
+    yield compute(3e-3)
+    return {"page": image}
+
+
+def discussion_group(ctx, request):
+    """Read a discussion thread: ~8 ms of CPU."""
+    yield compute(float(request.payload["rng"]) * 2 * 8e-3)
+    return {"thread": request.payload["thread_id"]}
+
+
+def main() -> None:
+    app = ApplicationCluster(n_nodes=12, seed=7, workers=2, poll_size=2,
+                             n_clients=4)
+    app.place_service(
+        ServiceSpec("image_store", n_partitions=2, replication=3),
+        node_ids=[0, 1, 2, 3, 4, 5],
+        handler=image_store,
+    )
+    app.place_service(
+        ServiceSpec("photo_album", n_partitions=1, replication=3),
+        node_ids=[6, 7, 8],
+        handler=photo_album,
+    )
+    app.place_service(
+        ServiceSpec("discussion", n_partitions=2, replication=3),
+        node_ids=[9, 10, 11, 6, 7, 8],  # shares nodes with the album tier
+        handler=discussion_group,
+    )
+
+    rng = np.random.default_rng(7)
+    # Mixed open workload: album pages and discussion reads interleaved.
+    done = [0]
+    total = N_PAGES + int(N_PAGES * DISCUSSION_RATE / PAGE_RATE)
+    album_times = np.cumsum(rng.exponential(1.0 / PAGE_RATE, N_PAGES))
+    discussion_times = np.cumsum(
+        rng.exponential(1.0 / DISCUSSION_RATE, total - N_PAGES)
+    )
+
+    def count(_signal):
+        done[0] += 1
+
+    def submit_album(i):
+        if i + 1 < N_PAGES:
+            app.sim.at(float(album_times[i + 1]), submit_album, i + 1)
+        client = app.client_ids[i % len(app.client_ids)]
+        payload = {"image_id": int(rng.integers(20)), "rng": rng.random()}
+        app.async_call(client, "photo_album", 0, payload).add_callback(count)
+
+    def submit_discussion(i):
+        if i + 1 < len(discussion_times):
+            app.sim.at(float(discussion_times[i + 1]), submit_discussion, i + 1)
+        client = app.client_ids[i % len(app.client_ids)]
+        payload = {"thread_id": int(rng.integers(40)), "rng": rng.random()}
+        partition = int(rng.integers(2))
+        app.async_call(client, "discussion", partition, payload).add_callback(count)
+
+    app.sim.at(float(album_times[0]), submit_album, 0)
+    app.sim.at(float(discussion_times[0]), submit_discussion, 0)
+    while done[0] < total:
+        app.sim.run(max_events=200_000)
+
+    print(f"{total} accesses ({N_PAGES} album pages + "
+          f"{total - N_PAGES} discussion reads) over 4 gateways\n")
+    print(f"{'service':<14} {'count':>7} {'mean':>9} {'p99':>9}")
+    for service, tally in app.response_times.items():
+        print(f"{service:<14} {len(tally):>7} {tally.mean() * 1e3:8.1f}ms "
+              f"{tally.percentile(99) * 1e3:8.1f}ms")
+    print("\nper-node completions (flat architecture: album nodes also serve"
+          " discussion):")
+    for node in app.nodes:
+        print(f"  node{node.node_id:<2} completed {node.completed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Figure 1 scenario: a partitioned, replicated multi-service cluster.
+
+Builds the paper's example service cluster from the library's low-level
+primitives (no ServiceCluster wrapper):
+
+- an **image store** service partitioned in two groups (images 0-9 and
+  10-19), each replicated on 3 nodes;
+- a **photo album** service replicated on 3 nodes, which *depends on*
+  the image store: rendering an album page means one album access plus
+  one image-store access on the partition holding the image;
+- **web servers** (internal clients) that balance each sub-access with
+  random polling (poll size 2) over the partition's replica group.
+
+Prints per-tier latency and the per-replica load split.
+
+Usage:  python examples/photo_album_cluster.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClientNode, PartitionMap, Request, ServerNode, ServiceSpec
+from repro.core import choose_min_with_ties
+from repro.net import ConstantLatency, MessageKind, Network, PAPER_NET
+from repro.sim import RngHub, Simulator
+
+N_PAGE_LOADS = 5000
+ALBUM_SERVICE_MS = 8.0
+IMAGE_SERVICE_MS = 15.0
+PAGE_RATE = 220.0  # album page loads per second across the site
+
+
+class PolledTier:
+    """Random-polling (d=2) access to one replica group.
+
+    Each tier owns the completion callback of its replica nodes and
+    routes responses back to per-request waiters by request index.
+    """
+
+    def __init__(self, sim, net, rng, servers, replica_ids):
+        self.sim = sim
+        self.net = net
+        self.rng = rng
+        self.servers = servers
+        self.replica_ids = replica_ids
+        self._waiters: dict[int, tuple[float, object]] = {}
+        self._next_id = 0
+        for node_id in replica_ids:
+            servers[node_id].on_complete = self._on_complete
+
+    def _on_complete(self, server, request) -> None:
+        started, _on_done = self._waiters[request.index]
+        self.net.send(
+            MessageKind.RESPONSE, server.node_id, request.client_id, request,
+            self._deliver_response,
+        )
+
+    def _deliver_response(self, message) -> None:
+        started, on_done = self._waiters.pop(message.payload.index)
+        on_done(self.sim.now - started)
+
+    def access(self, client: ClientNode, service_time: float, on_done) -> None:
+        """Poll two replicas, dispatch to the shorter queue, call
+        ``on_done(response_time)`` when the response returns."""
+        started = self.sim.now
+        request_id = self._next_id
+        self._next_id += 1
+        self._waiters[request_id] = (started, on_done)
+        picks = self.rng.choice(len(self.replica_ids), size=min(2, len(self.replica_ids)),
+                                replace=False)
+        targets = [self.replica_ids[i] for i in picks]
+        replies: list[tuple[int, int]] = []
+
+        def on_poll_reply(message):
+            server_id, qlen = message.payload
+            replies.append((server_id, qlen))
+            if len(replies) < len(targets):
+                return
+            chosen = choose_min_with_ties(
+                [sid for sid, _ in replies], [q for _, q in replies], self.rng
+            )
+            request = Request(request_id, client.node_id, service_time, started)
+            self.net.send(MessageKind.REQUEST, client.node_id, chosen, request,
+                          lambda m: self.servers[m.dst].enqueue(m.payload))
+
+        def on_poll(message):
+            server = self.servers[message.dst]
+            self.net.send(MessageKind.POLL_REPLY, server.node_id, message.src,
+                          (server.node_id, server.queue_length), on_poll_reply)
+
+        for target in targets:
+            self.net.send(MessageKind.POLL, client.node_id, target, None, on_poll)
+
+
+def main() -> None:
+    sim = Simulator()
+    hub = RngHub(2026)
+    net = Network(sim, hub.stream("net"), ConstantLatency(PAPER_NET.poll_one_way))
+    net.set_latency(MessageKind.REQUEST, ConstantLatency(PAPER_NET.request_one_way))
+    net.set_latency(MessageKind.RESPONSE, ConstantLatency(PAPER_NET.request_one_way))
+
+    # --- placement (Figure 1): 6 image-store nodes + 3 album nodes ----
+    servers = [ServerNode(sim, node_id=i) for i in range(9)]
+    placement = PartitionMap()
+    placement.place(ServiceSpec("image_store", n_partitions=2, replication=3),
+                    node_ids=[0, 1, 2, 3, 4, 5])
+    placement.assign("photo_album", 0, [6, 7, 8])
+
+    web_servers = [ClientNode(sim, 100 + j) for j in range(3)]
+    album_tier = PolledTier(sim, net, hub.stream("poll.album"), servers,
+                            placement.replicas("photo_album"))
+    image_tiers = [
+        PolledTier(sim, net, hub.stream(f"poll.images.{p}"), servers,
+                   placement.replicas("image_store", p))
+        for p in (0, 1)
+    ]
+
+    # --- workload: album page = album access, then image access -------
+    workload_rng = hub.stream("workload")
+    page_latencies: list[float] = []
+    album_latencies: list[float] = []
+    image_latencies: list[float] = []
+
+    def page_load(index: int) -> None:
+        if index + 1 < N_PAGE_LOADS:
+            sim.after(float(workload_rng.exponential(1.0 / PAGE_RATE)),
+                      page_load, index + 1)
+        web = web_servers[index % len(web_servers)]
+        page_start = sim.now
+        album_time = float(workload_rng.exponential(ALBUM_SERVICE_MS * 1e-3))
+
+        def after_album(album_latency: float) -> None:
+            album_latencies.append(album_latency)
+            image_id = int(workload_rng.integers(20))
+            tier = image_tiers[0] if image_id < 10 else image_tiers[1]
+            image_time = float(workload_rng.exponential(IMAGE_SERVICE_MS * 1e-3))
+
+            def after_image(image_latency: float) -> None:
+                image_latencies.append(image_latency)
+                page_latencies.append(sim.now - page_start)
+
+            tier.access(web, image_time, after_image)
+
+        album_tier.access(web, album_time, after_album)
+
+    sim.after(0.0, page_load, 0)
+    while len(page_latencies) < N_PAGE_LOADS:
+        sim.run(max_events=100_000)
+
+    # --- report --------------------------------------------------------
+    def ms(values):
+        arr = np.asarray(values) * 1e3
+        return f"mean {arr.mean():6.1f} ms   p99 {np.percentile(arr, 99):6.1f} ms"
+
+    print(f"{N_PAGE_LOADS} album page loads at {PAGE_RATE:.0f}/s over 3 web servers\n")
+    print(f"  album tier  (3 replicas):        {ms(album_latencies)}")
+    print(f"  image tier  (2x3 replicas):      {ms(image_latencies)}")
+    print(f"  end-to-end page:                 {ms(page_latencies)}")
+    print("\nper-node completions (polling d=2 keeps replica groups even):")
+    for service, partition in [("photo_album", 0), ("image_store", 0), ("image_store", 1)]:
+        group = placement.replicas(service, partition)
+        counts = ", ".join(f"node{n}={servers[n].completed_count}" for n in group)
+        print(f"  {service}/p{partition}: {counts}")
+
+
+if __name__ == "__main__":
+    main()

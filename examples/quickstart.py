@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compare cluster load balancing policies in 30 lines.
+
+Runs the paper's policies over a Poisson/Exp workload (50 ms mean
+service time) on a 16-server cluster at 90% load and prints the mean
+response times — the one-figure summary of the whole paper: random
+polling with a tiny poll size gets most of the way to the oracle.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.experiments import SimulationConfig, parallel_sweep
+from repro.experiments.results import ResultTable
+
+POLICIES = [
+    ("random", "random", {}),
+    ("round-robin", "round_robin", {}),
+    ("broadcast (100ms)", "broadcast", {"mean_interval": 0.1}),
+    ("least-connections", "least_connections", {}),
+    ("polling d=2", "polling", {"poll_size": 2}),
+    ("polling d=3 +discard", "polling", {"poll_size": 3, "discard_slow": True}),
+    ("IDEAL oracle", "ideal", {}),
+]
+
+
+def main() -> None:
+    configs = [
+        SimulationConfig(
+            policy=policy,
+            policy_params=params,
+            workload="poisson_exp",
+            load=0.9,
+            n_servers=16,
+            n_requests=20_000,
+            seed=42,
+            label=label,
+        )
+        for label, policy, params in POLICIES
+    ]
+    results = parallel_sweep(configs)
+
+    table = ResultTable(["policy", "mean_ms", "p99_ms", "vs_ideal"])
+    ideal = results[-1].mean_response_time
+    for result in results:
+        table.add(
+            policy=result.config.label,
+            mean_ms=result.mean_response_time_ms,
+            p99_ms=result.p99_response_time * 1e3,
+            vs_ideal=result.mean_response_time / ideal,
+        )
+    print("Poisson/Exp (50ms), 16 servers, 90% load, 20k requests\n")
+    print(table.render(floatfmt="{:.2f}"))
+    print(
+        "\nTakeaway: poll size 2 recovers most of the random->oracle gap"
+        " at the cost of two tiny UDP messages per request."
+    )
+
+
+if __name__ == "__main__":
+    main()

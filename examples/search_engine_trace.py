@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Search-engine scenario: fine-grain services and the poll-size trap.
+
+Reproduces the paper's central finding on the Fine-Grain trace (a
+Teoma query-word translation service, 22.2 ms mean service time):
+
+- in an idealized *simulation* (no polling overheads) bigger poll sizes
+  look harmless;
+- on the *prototype* model (load-dependent poll delays, CPU stolen by
+  inquiry handling, full load calibrated by the 98%-under-2s rule) poll
+  size 8 collapses below even the random policy, while d=2-3 remain
+  excellent.
+
+Usage:  python examples/search_engine_trace.py
+"""
+
+from repro.experiments import SimulationConfig, parallel_sweep
+from repro.experiments.report import format_series
+from repro.experiments.runner import full_load_rho_for
+from repro.workload import FINE_GRAIN_SPEC
+
+POLL_SIZES = (2, 3, 8)
+N_REQUESTS = 15_000
+LOAD = 0.9
+
+
+def sweep(model: str) -> dict[str, float]:
+    base = SimulationConfig(
+        workload="fine_grain", load=LOAD, n_servers=16,
+        n_requests=N_REQUESTS, seed=7, model=model,
+    )
+    if model == "prototype":
+        base = base.with_updates(full_load_rho=full_load_rho_for(base))
+    configs = [base.with_updates(policy="random", label="random")]
+    configs += [
+        base.with_updates(policy="polling", policy_params={"poll_size": d},
+                          label=f"poll-{d}")
+        for d in POLL_SIZES
+    ]
+    oracle = "ideal" if model == "simulation" else "manager"
+    configs.append(base.with_updates(policy=oracle, label="oracle"))
+    results = parallel_sweep(configs)
+    return {r.config.label: r.mean_response_time_ms for r in results}
+
+
+def main() -> None:
+    spec = FINE_GRAIN_SPEC
+    print(
+        f"Workload: {spec.name} — service {spec.service_time_mean * 1e3:.1f} ms "
+        f"(std {spec.service_time_std * 1e3:.1f} ms), 16 servers, {LOAD:.0%} busy\n"
+    )
+    simulation = sweep("simulation")
+    prototype = sweep("prototype")
+    labels = ["random", "poll-2", "poll-3", "poll-8", "oracle"]
+    print(
+        format_series(
+            "policy",
+            labels,
+            {
+                "simulation_ms": [simulation[l] for l in labels],
+                "prototype_ms": [prototype[l] for l in labels],
+            },
+        )
+    )
+    print(
+        "\nIn simulation poll-8 looks as good as poll-2; on the prototype"
+        "\nits polling overhead pushes the cluster over the calibrated"
+        "\nsaturation point and it loses even to random — the paper's"
+        "\ncase for small poll sizes on fine-grain services."
+    )
+
+
+if __name__ == "__main__":
+    main()

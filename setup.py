@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` needs `bdist_wheel`; when wheel is unavailable,
+`python setup.py develop` installs an equivalent editable package.
+"""
+
+from setuptools import setup
+
+setup()

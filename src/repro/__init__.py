@@ -1,0 +1,38 @@
+"""repro — reproduction of *Cluster Load Balancing for Fine-grain
+Network Services* (Shen, Yang, Chu; IPPS 2002).
+
+Public API layout:
+
+- :mod:`repro.sim` — discrete-event simulation kernel.
+- :mod:`repro.net` — message-level cluster network substrate.
+- :mod:`repro.cluster` — server/client/service cluster substrate.
+- :mod:`repro.core` — the load balancing policies (the paper's topic).
+- :mod:`repro.workload` — distributions, traces, Table-1 synthesis.
+- :mod:`repro.analysis` — queueing formulas, Eq.1 bound, statistics.
+- :mod:`repro.prototype` — prototype-fidelity overhead model.
+- :mod:`repro.experiments` — configs, runners, figure/table drivers.
+
+Quick start::
+
+    from repro.experiments import SimulationConfig, run_simulation
+    cfg = SimulationConfig(policy="polling", policy_params={"poll_size": 2},
+                           workload="poisson_exp", load=0.9, seed=1)
+    result = run_simulation(cfg)
+    print(result.mean_response_time_ms)
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, cluster, core, experiments, net, prototype, sim, workload
+
+__all__ = [
+    "analysis",
+    "cluster",
+    "core",
+    "experiments",
+    "net",
+    "prototype",
+    "sim",
+    "workload",
+    "__version__",
+]

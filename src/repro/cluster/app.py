@@ -1,0 +1,384 @@
+"""Application-level service framework (Neptune's programming model).
+
+The paper's infrastructure "encapsulates an application-level network
+service through a service access interface which contains several
+RPC-like access methods", and services *aggregate*: Figure 1's photo
+album calls into a partitioned image store. This module provides that
+programming model on top of the cluster substrate:
+
+- a **handler** is a generator registered per service; it yields
+  :func:`compute` directives (hold a worker thread and burn CPU) and
+  :func:`call` directives (a nested, load-balanced access to another
+  service — the worker thread blocks, exactly like Neptune's
+  thread-pool servers) and returns its reply value;
+- an :class:`AppNode` runs handlers on a bounded worker pool with a
+  FIFO queue; its load index is queue length (queued + running);
+- an :class:`ApplicationCluster` wires placement
+  (:class:`~repro.cluster.service.PartitionMap`), random-polling or
+  random selection per replica group, request/response messaging, and
+  per-service response-time metrics.
+
+Every node is simultaneously a server and an internal client (the
+paper's flat architecture): nested calls from a handler are balanced
+exactly like external ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.cluster.service import PartitionMap, ServiceSpec
+from repro.core.base import NoCandidatesError, choose_min_with_ties
+from repro.net.latency import ConstantLatency, PAPER_NET, PaperNetworkConstants
+from repro.net.message import Message, MessageKind
+from repro.net.transport import Network
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.monitor import TallyRecorder
+from repro.sim.process import Process
+from repro.sim.rng import RngHub
+
+__all__ = [
+    "ApplicationCluster",
+    "AppNode",
+    "AppRequest",
+    "call",
+    "compute",
+]
+
+
+class _Compute:
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"compute time must be >= 0, got {seconds}")
+        self.seconds = seconds
+
+
+class _Call:
+    __slots__ = ("service", "partition", "payload")
+
+    def __init__(self, service: str, partition: int, payload: Any):
+        self.service = service
+        self.partition = partition
+        self.payload = payload
+
+
+def compute(seconds: float) -> _Compute:
+    """Handler directive: occupy the worker for ``seconds`` of CPU."""
+    return _Compute(seconds)
+
+
+def call(service: str, partition: int = 0, payload: Any = None) -> _Call:
+    """Handler directive: nested load-balanced access; yields the reply."""
+    return _Call(service, partition, payload)
+
+
+class AppRequest:
+    """One service access in the application framework."""
+
+    __slots__ = ("index", "service", "partition", "payload", "src_node",
+                 "submit_time", "start_time", "finish_time")
+
+    def __init__(self, index: int, service: str, partition: int, payload: Any,
+                 src_node: int, submit_time: float):
+        self.index = index
+        self.service = service
+        self.partition = partition
+        self.payload = payload
+        self.src_node = src_node
+        self.submit_time = submit_time
+        self.start_time = float("nan")
+        self.finish_time = float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AppRequest #{self.index} {self.service}/p{self.partition}>"
+
+
+Handler = Callable[["ApplicationCluster", AppRequest], Generator]
+
+
+class AppNode:
+    """A node executing service handlers on a worker thread pool."""
+
+    __slots__ = ("cluster", "node_id", "workers", "running", "queue", "completed")
+
+    def __init__(self, cluster: "ApplicationCluster", node_id: int, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cluster = cluster
+        self.node_id = node_id
+        self.workers = workers
+        self.running = 0
+        self.queue: deque[tuple[AppRequest, Callable[[Any], None]]] = deque()
+        self.completed = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Load index: running + queued accesses."""
+        return self.running + len(self.queue)
+
+    def submit(self, request: AppRequest, on_done: Callable[[Any], None]) -> None:
+        """Accept a request; ``on_done(result)`` fires at local completion."""
+        if self.running < self.workers:
+            self._start(request, on_done)
+        else:
+            self.queue.append((request, on_done))
+
+    def _start(self, request: AppRequest, on_done: Callable[[Any], None]) -> None:
+        self.running += 1
+        request.start_time = self.cluster.sim.now
+        handler = self.cluster.handler_for(request.service)
+        process = Process(
+            self.cluster.sim,
+            self._drive(handler(self.cluster.node_context(self.node_id), request)),
+            name=f"{request.service}@{self.node_id}",
+        )
+        process.add_callback(lambda p, r=request, cb=on_done: self._finish(p, r, cb))
+
+    def _drive(self, generator: Generator) -> Generator:
+        """Interpret handler directives on the simulator."""
+        try:
+            directive = next(generator)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            if isinstance(directive, _Compute):
+                if directive.seconds > 0:
+                    yield directive.seconds
+                value = None
+            elif isinstance(directive, _Call):
+                value = yield self.cluster.async_call(
+                    self.node_id, directive.service, directive.partition,
+                    directive.payload,
+                )
+            else:
+                raise TypeError(
+                    f"handler yielded {directive!r}; expected compute()/call()"
+                )
+            try:
+                directive = generator.send(value)
+            except StopIteration as stop:
+                return stop.value
+
+    def _finish(self, process: Process, request: AppRequest,
+                on_done: Callable[[Any], None]) -> None:
+        self.running -= 1
+        self.completed += 1
+        request.finish_time = self.cluster.sim.now
+        if self.queue:
+            queued_request, queued_done = self.queue.popleft()
+            self._start(queued_request, queued_done)
+        if process.exception is not None:
+            raise SimulationError(
+                f"handler for {request.service!r} failed"
+            ) from process.exception
+        on_done(process.value)
+
+
+class ApplicationCluster:
+    """A multi-service cluster with handler-defined services.
+
+    Parameters
+    ----------
+    n_nodes:
+        Service nodes (ids 0..n_nodes-1). External client ids continue
+        after them.
+    poll_size:
+        Replica selection: 0 = uniform random; d >= 1 = random polling
+        with d inquiries (queue length read at inquiry arrival).
+    workers:
+        Worker threads per node.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 0,
+        workers: int = 2,
+        poll_size: int = 2,
+        n_clients: int = 1,
+        constants: PaperNetworkConstants = PAPER_NET,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if poll_size < 0:
+            raise ValueError(f"poll_size must be >= 0, got {poll_size}")
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        self.sim = Simulator()
+        self.rng_hub = RngHub(seed)
+        self.constants = constants
+        self.network = Network(
+            self.sim, self.rng_hub.stream("net.latency"),
+            ConstantLatency(constants.poll_one_way),
+        )
+        one_way = ConstantLatency(constants.request_one_way)
+        self.network.set_latency(MessageKind.REQUEST, one_way)
+        self.network.set_latency(MessageKind.RESPONSE, one_way)
+        self.nodes = [AppNode(self, i, workers) for i in range(n_nodes)]
+        self.n_clients = n_clients
+        self.client_ids = [n_nodes + j for j in range(n_clients)]
+        self.placement = PartitionMap()
+        self.poll_size = poll_size
+        self._handlers: dict[str, Handler] = {}
+        self._rng_select = self.rng_hub.stream("app.select")
+        self._next_request = 0
+        self.response_times: dict[str, TallyRecorder] = {}
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def place_service(
+        self,
+        spec: ServiceSpec,
+        node_ids: list[int],
+        handler: Handler,
+        workers: Optional[int] = None,
+    ) -> None:
+        """Place a service's replica groups and register its handler.
+
+        ``workers`` optionally resizes the hosting nodes' thread pools —
+        Neptune sizes the pool per service "to strike the best balance
+        between concurrency and efficiency" (CPU-bound handlers want few
+        threads; handlers that block on nested calls want many).
+        """
+        for node_id in node_ids:
+            if not 0 <= node_id < len(self.nodes):
+                raise ValueError(f"unknown node id {node_id}")
+        self.placement.place(spec, node_ids)
+        self._handlers[spec.name] = handler
+        self.response_times[spec.name] = TallyRecorder()
+        if workers is not None:
+            for node_id in node_ids:
+                self.set_workers(node_id, workers)
+
+    def set_workers(self, node_id: int, workers: int) -> None:
+        """Resize one node's worker pool (takes effect for new starts)."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.nodes[node_id].workers = workers
+
+    def handler_for(self, service: str) -> Handler:
+        try:
+            return self._handlers[service]
+        except KeyError:
+            raise KeyError(f"no handler registered for service {service!r}") from None
+
+    def node_context(self, node_id: int) -> "ApplicationCluster":
+        """The context handlers receive (currently the cluster itself)."""
+        return self
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def async_call(self, src_id: int, service: str, partition: int, payload: Any):
+        """Balanced access to (service, partition); returns a Signal that
+        succeeds with the handler's return value."""
+        from repro.sim.events import Signal
+
+        signal = Signal(self.sim, f"call:{service}")
+        candidates = self.placement.replicas(service, partition)
+        if not candidates:
+            raise NoCandidatesError(f"no replicas for {service}/{partition}")
+        request = AppRequest(
+            self._next_request, service, partition, payload, src_id, self.sim.now
+        )
+        self._next_request += 1
+        self._outstanding += 1
+
+        def dispatch(target: int) -> None:
+            self.network.send(
+                MessageKind.REQUEST, src_id, target, request,
+                lambda message: self.nodes[message.dst].submit(
+                    message.payload, lambda result: respond(message.dst, result)
+                ),
+            )
+
+        def respond(node_id: int, result: Any) -> None:
+            self.network.send(
+                MessageKind.RESPONSE, node_id, src_id, (request, result),
+                deliver,
+            )
+
+        def deliver(message: Message) -> None:
+            delivered_request, result = message.payload
+            self.response_times[service].record(
+                self.sim.now - delivered_request.submit_time
+            )
+            self._outstanding -= 1
+            signal.succeed(result)
+
+        self._select(src_id, candidates, dispatch)
+        return signal
+
+    def _select(self, src_id: int, candidates: list[int],
+                on_chosen: Callable[[int], None]) -> None:
+        if self.poll_size == 0 or len(candidates) == 1:
+            on_chosen(candidates[int(self._rng_select.integers(len(candidates)))])
+            return
+        count = min(self.poll_size, len(candidates))
+        if count == len(candidates):
+            targets = list(candidates)
+        else:
+            picks = self._rng_select.choice(len(candidates), size=count, replace=False)
+            targets = [candidates[i] for i in picks]
+        replies: list[tuple[int, int]] = []
+
+        def on_reply(message: Message) -> None:
+            replies.append(message.payload)
+            if len(replies) == len(targets):
+                ids = [node for node, _ in replies]
+                values = [q for _, q in replies]
+                on_chosen(choose_min_with_ties(ids, values, self._rng_select))
+
+        def on_poll(message: Message) -> None:
+            node = self.nodes[message.dst]
+            self.network.send(
+                MessageKind.POLL_REPLY, node.node_id, message.src,
+                (node.node_id, node.queue_length), on_reply,
+            )
+
+        for target in targets:
+            self.network.send(MessageKind.POLL, src_id, target, None, on_poll)
+
+    # ------------------------------------------------------------------
+    # workload driving
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        service: str,
+        interarrival: np.ndarray,
+        partition_fn: Optional[Callable[[int, np.random.Generator], int]] = None,
+        payload_fn: Optional[Callable[[int], Any]] = None,
+    ) -> TallyRecorder:
+        """Submit one access per gap from rotating external clients and
+        run to completion; returns the service's response-time tally."""
+        gaps = np.ascontiguousarray(interarrival, dtype=np.float64)
+        if gaps.ndim != 1 or gaps.size == 0:
+            raise ValueError("interarrival must be a non-empty 1-D array")
+        arrival_times = np.cumsum(gaps)
+        total = int(gaps.shape[0])
+        done = [0]
+        rng = self.rng_hub.stream("app.workload")
+
+        def submit(index: int) -> None:
+            if index + 1 < total:
+                self.sim.at(float(arrival_times[index + 1]), submit, index + 1)
+            client = self.client_ids[index % self.n_clients]
+            partition = partition_fn(index, rng) if partition_fn else 0
+            payload = payload_fn(index) if payload_fn else None
+            signal = self.async_call(client, service, partition, payload)
+            signal.add_callback(lambda s: done.__setitem__(0, done[0] + 1))
+
+        self.sim.at(float(arrival_times[0]), submit, 0)
+        while done[0] < total:
+            executed = self.sim.events_executed
+            self.sim.run(max_events=100_000)
+            if self.sim.events_executed == executed:
+                raise SimulationError("application workload deadlocked")
+        return self.response_times[service]

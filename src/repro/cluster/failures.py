@@ -1,0 +1,71 @@
+"""Failure injection: transient server crashes and recoveries.
+
+The paper's architecture claim (§3.1) is that the flat, soft-state
+design "allows the service infrastructure to operate smoothly in the
+presence of transient failures and service evolution". This module
+makes that claim testable: crash a server at a chosen time (it goes
+network-silent and drops its queue), recover it later, and verify that
+clients route around the failure via mapping-table expiry plus request
+retries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.system import ServiceCluster
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Schedules crashes/recoveries against a :class:`ServiceCluster`."""
+
+    def __init__(self, cluster: "ServiceCluster"):
+        self.cluster = cluster
+        self.dead: set[int] = set()
+        self.crash_log: list[tuple[float, int, str]] = []
+        cluster.network.drop_filter = self._drop_if_dead
+
+    def _drop_if_dead(self, message: Message) -> bool:
+        return message.src in self.dead or message.dst in self.dead
+
+    def schedule_crash(self, node_id: int, at: float) -> None:
+        """Crash server ``node_id`` at simulation time ``at``."""
+        self.cluster.sim.at(at, self._crash, node_id)
+
+    def schedule_recovery(self, node_id: int, at: float) -> None:
+        """Recover server ``node_id`` at simulation time ``at``."""
+        self.cluster.sim.at(at, self._recover, node_id)
+
+    def _crash(self, node_id: int) -> None:
+        cluster = self.cluster
+        server = cluster.servers[node_id]
+        if not server.alive:
+            return
+        server.alive = False
+        self.dead.add(node_id)
+        self.crash_log.append((cluster.sim.now, node_id, "crash"))
+        publisher = cluster.publishers.get(node_id)
+        if publisher is not None:
+            publisher.stop()
+        # Requests queued or in service are lost; hand them back to the
+        # cluster for retry (a real client would detect this by timeout —
+        # the cluster also supports that path via request_timeout).
+        for request in server.drain():
+            cluster.handle_server_loss(request)
+
+    def _recover(self, node_id: int) -> None:
+        cluster = self.cluster
+        server = cluster.servers[node_id]
+        if server.alive:
+            return
+        server.alive = True
+        self.dead.discard(node_id)
+        self.crash_log.append((cluster.sim.now, node_id, "recover"))
+        publisher = cluster.publishers.get(node_id)
+        if publisher is not None:
+            publisher.start()

@@ -1,0 +1,70 @@
+"""Per-request record threaded through the lifecycle."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Request"]
+
+
+class Request:
+    """One service access, from client initiation to response receipt.
+
+    Timestamps (seconds, simulation clock); ``nan`` until reached:
+
+    - ``arrival_time`` — the client initiates the access (this is when
+      the load balancing policy starts working);
+    - ``dispatch_time`` — the policy has chosen a server and the request
+      leaves the client (``dispatch_time - arrival_time`` is the paper's
+      *polling time* for polling policies, 0 for instant policies);
+    - ``enqueue_time`` — the request reaches the server's queue;
+    - ``start_time`` — a worker begins service;
+    - ``completion_time`` — service done, response sent;
+    - ``response_time`` — filled at the client: response receipt minus
+      ``arrival_time`` (the paper's performance index).
+    """
+
+    __slots__ = (
+        "index",
+        "client_id",
+        "service_time",
+        "arrival_time",
+        "dispatch_time",
+        "enqueue_time",
+        "start_time",
+        "completion_time",
+        "response_time",
+        "server_id",
+        "retries",
+        "failed",
+    )
+
+    def __init__(self, index: int, client_id: int, service_time: float, arrival_time: float):
+        self.index = index
+        self.client_id = client_id
+        self.service_time = service_time
+        self.arrival_time = arrival_time
+        self.dispatch_time = math.nan
+        self.enqueue_time = math.nan
+        self.start_time = math.nan
+        self.completion_time = math.nan
+        self.response_time = math.nan
+        self.server_id = -1
+        self.retries = 0
+        self.failed = False
+
+    @property
+    def poll_time(self) -> float:
+        """Selection latency: dispatch - arrival (the paper's polling time)."""
+        return self.dispatch_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting in the server queue."""
+        return self.start_time - self.enqueue_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Request #{self.index} client={self.client_id} "
+            f"server={self.server_id} s={self.service_time:.6f}>"
+        )

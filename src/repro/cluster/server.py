@@ -1,0 +1,186 @@
+"""Server node: FIFO service queue + non-preemptive worker pool.
+
+This is the paper's server model (§2): "each server contains a
+non-preemptive processing unit and a FIFO service queue". ``workers=1``
+reproduces that model exactly; larger pools model the prototype's
+thread pool (§3.1).
+
+The *load index* is :attr:`queue_length` — "the total number of active
+service accesses, i.e. the queue length, on each server" — counting
+both queued and in-service requests.
+
+For the prototype-fidelity model, :meth:`steal_cpu` lets poll handling
+steal CPU from the in-flight service (its completion event is pushed
+back), which is one of the two polling-overhead sources the paper
+identifies in §4.1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.monitor import StepRecorder
+from repro.cluster.request import Request
+
+__all__ = ["ServerNode"]
+
+CompletionCallback = Callable[["ServerNode", Request], None]
+
+
+class ServerNode:
+    """A service node with a FIFO queue and ``workers`` service units."""
+
+    __slots__ = (
+        "sim",
+        "node_id",
+        "workers",
+        "speed",
+        "on_complete",
+        "on_idle",
+        "queue",
+        "in_service",
+        "_completion_handles",
+        "completed_count",
+        "stolen_cpu_total",
+        "queue_recorder",
+        "alive",
+        "max_queue",
+        "rejected_count",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        workers: int = 1,
+        speed: float = 1.0,
+        record_queue: bool = False,
+        max_queue: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0, got {speed}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1 or None, got {max_queue}")
+        self.sim = sim
+        self.node_id = node_id
+        self.workers = workers
+        self.speed = speed
+        #: set by the cluster: called when a request finishes service
+        self.on_complete: Optional[CompletionCallback] = None
+        #: optional: called when the node transitions to fully idle
+        #: (used by idleness-advertising policies such as JIQ)
+        self.on_idle: Optional[Callable[["ServerNode"], None]] = None
+        self.queue: Deque[Request] = deque()
+        self.in_service: dict[int, Request] = {}
+        self._completion_handles: dict[int, EventHandle] = {}
+        self.completed_count = 0
+        self.stolen_cpu_total = 0.0
+        self.queue_recorder: Optional[StepRecorder] = (
+            StepRecorder(initial=0.0) if record_queue else None
+        )
+        self.alive = True
+        #: admission control (None = unbounded; the paper's model).
+        #: Requests arriving with ``queue_length >= max_queue`` are
+        #: rejected — the knob the paper places out of scope ("system
+        #: throughput is tightly related to the admission control").
+        self.max_queue = max_queue
+        self.rejected_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """The load index: queued + in-service requests."""
+        return len(self.queue) + len(self.in_service)
+
+    @property
+    def busy(self) -> bool:
+        """True when at least one worker is serving."""
+        return bool(self.in_service)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> bool:
+        """Accept a request: start service if a worker is free, else queue.
+
+        Returns False (and leaves the request untouched) when admission
+        control rejects it; True otherwise.
+        """
+        if self.max_queue is not None and self.queue_length >= self.max_queue:
+            self.rejected_count += 1
+            return False
+        request.enqueue_time = self.sim.now
+        request.server_id = self.node_id
+        if len(self.in_service) < self.workers:
+            self._start(request)
+        else:
+            self.queue.append(request)
+        self._record_queue()
+        return True
+
+    def _start(self, request: Request) -> None:
+        request.start_time = self.sim.now
+        self.in_service[request.index] = request
+        handle = self.sim.after(request.service_time / self.speed, self._complete, request)
+        self._completion_handles[request.index] = handle
+
+    def _complete(self, request: Request) -> None:
+        del self.in_service[request.index]
+        del self._completion_handles[request.index]
+        request.completion_time = self.sim.now
+        self.completed_count += 1
+        if self.queue:
+            self._start(self.queue.popleft())
+        self._record_queue()
+        if self.on_complete is not None:
+            self.on_complete(self, request)
+        if self.on_idle is not None and not self.in_service and not self.queue:
+            self.on_idle(self)
+
+    # ------------------------------------------------------------------
+    def steal_cpu(self, cost: float) -> None:
+        """Charge ``cost`` seconds of CPU to overhead work (poll handling).
+
+        The in-flight service completions are pushed back by ``cost``
+        (the CPU is taken away from the spinning service threads). A
+        no-op when the server is idle — there is nobody to delay.
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        if cost == 0.0 or not self._completion_handles:
+            return
+        self.stolen_cpu_total += cost
+        sim = self.sim
+        for index, handle in list(self._completion_handles.items()):
+            sim.cancel(handle)
+            self._completion_handles[index] = sim.at(
+                handle.time + cost, self._complete, handle.arg
+            )
+
+    # ------------------------------------------------------------------
+    def drain(self) -> list[Request]:
+        """Remove and return all queued and in-service requests (crash).
+
+        In-flight completion events are cancelled; callers (the failure
+        injector) decide what happens to the drained requests.
+        """
+        dropped = list(self.in_service.values()) + list(self.queue)
+        for handle in self._completion_handles.values():
+            self.sim.cancel(handle)
+        self._completion_handles.clear()
+        self.in_service.clear()
+        self.queue.clear()
+        self._record_queue()
+        return dropped
+
+    def _record_queue(self) -> None:
+        if self.queue_recorder is not None:
+            self.queue_recorder.record(self.sim.now, float(self.queue_length))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServerNode {self.node_id} q={self.queue_length} "
+            f"workers={self.workers} done={self.completed_count}>"
+        )

@@ -1,0 +1,493 @@
+"""The service cluster: request lifecycle + policy context.
+
+:class:`ServiceCluster` wires the simulator, the network, server and
+client nodes, an optional availability subsystem, an optional
+prototype-overhead model, and one load-balancing policy. It drives the
+paper's request lifecycle:
+
+1. a request *arrives* at a client (trace- or process-generated);
+2. the policy *selects* a server — instantly (random/broadcast/ideal)
+   or after polling/manager round trips (``poll_time`` is the
+   select-to-dispatch latency);
+3. the request travels to the server (half of the measured 516 µs
+   request+response latency), queues FIFO, is serviced non-preemptively;
+4. the response travels back; response time = receipt − arrival.
+
+The cluster object is also the *context* passed to policies
+(:meth:`available_servers`, :meth:`dispatch`, :meth:`poll_server`,
+:attr:`servers`, :meth:`rng`, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.cluster.availability import (
+    AvailabilityChannel,
+    ServiceMappingTable,
+    ServicePublisher,
+)
+from repro.cluster.client import ClientNode
+from repro.cluster.request import Request
+from repro.cluster.server import ServerNode
+from repro.net.latency import ConstantLatency, PAPER_NET, PaperNetworkConstants
+from repro.net.message import Message, MessageKind
+from repro.net.transport import Network
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+from repro.sim.rng import RngHub
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import LoadBalancer
+
+__all__ = ["ServiceCluster", "ClusterMetrics"]
+
+#: service name used when the availability subsystem is enabled with the
+#: default single fully-replicated service
+DEFAULT_SERVICE = "service"
+
+
+class _RunComplete(Exception):
+    """Internal: unwinds the event loop the moment the last request
+    finishes, so self-perpetuating control loops (broadcast
+    announcements, availability refreshes) don't keep executing."""
+
+
+class ClusterMetrics:
+    """Per-request measurement arrays (NumPy, preallocated)."""
+
+    __slots__ = (
+        "n",
+        "arrival_time",
+        "response_time",
+        "poll_time",
+        "queue_wait",
+        "server_id",
+        "retries",
+        "failed",
+    )
+
+    def __init__(self, n: int):
+        self.n = n
+        self.arrival_time = np.full(n, np.nan)
+        self.response_time = np.full(n, np.nan)
+        self.poll_time = np.full(n, np.nan)
+        self.queue_wait = np.full(n, np.nan)
+        self.server_id = np.full(n, -1, dtype=np.int32)
+        self.retries = np.zeros(n, dtype=np.int32)
+        self.failed = np.zeros(n, dtype=bool)
+
+    def record(self, request: Request) -> None:
+        i = request.index
+        self.arrival_time[i] = request.arrival_time
+        self.response_time[i] = request.response_time
+        self.poll_time[i] = request.poll_time
+        self.queue_wait[i] = request.queue_wait
+        self.server_id[i] = request.server_id
+        self.retries[i] = request.retries
+        self.failed[i] = request.failed
+
+    def measurement_slice(self, warmup_fraction: float = 0.1) -> np.ndarray:
+        """Boolean mask of completed, post-warmup requests."""
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+        mask = np.isfinite(self.response_time) & ~self.failed
+        mask[: int(self.n * warmup_fraction)] = False
+        return mask
+
+    def summary(self, warmup_fraction: float = 0.1) -> dict[str, float]:
+        """Headline statistics over the measurement window (seconds)."""
+        mask = self.measurement_slice(warmup_fraction)
+        responses = self.response_time[mask]
+        polls = self.poll_time[mask]
+        out = {
+            "n_measured": int(mask.sum()),
+            "n_failed": int(self.failed.sum()),
+            "mean_response_time": float(responses.mean()) if responses.size else math.nan,
+            "p50_response_time": float(np.percentile(responses, 50)) if responses.size else math.nan,
+            "p90_response_time": float(np.percentile(responses, 90)) if responses.size else math.nan,
+            "p99_response_time": float(np.percentile(responses, 99)) if responses.size else math.nan,
+            "mean_poll_time": float(polls.mean()) if polls.size else math.nan,
+        }
+        return out
+
+    def server_counts(self, n_servers: int, warmup_fraction: float = 0.1) -> np.ndarray:
+        """Requests completed per server over the measurement window."""
+        mask = self.measurement_slice(warmup_fraction)
+        return np.bincount(self.server_id[mask], minlength=n_servers)
+
+
+class ServiceCluster:
+    """A simulated cluster running one policy over one workload.
+
+    Parameters
+    ----------
+    n_servers, n_clients:
+        Pool sizes; the paper's experiments use 16 servers and up to 6
+        client nodes.
+    policy:
+        A :class:`repro.core.base.LoadBalancer`; bound to this cluster.
+    seed:
+        Experiment seed; all randomness derives from it via named
+        substreams.
+    constants:
+        Measured network constants (defaults to the paper's).
+    overhead:
+        Optional prototype-fidelity overhead model
+        (:class:`repro.prototype.PrototypeOverheadModel`); ``None``
+        selects the paper's pure simulation model (§2).
+    workers:
+        Service units per server (1 = the paper's model).
+    server_speeds:
+        Optional per-server speed factors (heterogeneity ablation).
+    availability:
+        When True, run the publish/subscribe availability subsystem and
+        derive candidate sets from soft state (required for failure
+        experiments); when False (default), membership is static.
+    request_timeout / max_retries:
+        Client-side loss recovery (used with failures).
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        policy: "LoadBalancer",
+        seed: int = 0,
+        n_clients: int = 6,
+        constants: PaperNetworkConstants = PAPER_NET,
+        overhead=None,
+        workers: int = 1,
+        server_speeds: Optional[list[float]] = None,
+        record_server_queues: bool = False,
+        availability: bool = False,
+        availability_refresh: float = 1.0,
+        availability_ttl: float = 3.0,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 5,
+        server_max_queue: Optional[int] = None,
+    ):
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        if server_speeds is not None and len(server_speeds) != n_servers:
+            raise ValueError("server_speeds length must equal n_servers")
+        self.sim = Simulator()
+        self.rng_hub = RngHub(seed)
+        self.constants = constants
+        self.overhead = overhead
+        self.n_servers = n_servers
+        self.n_clients = n_clients
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+
+        self.network = Network(
+            self.sim, self.rng_hub.stream("net.latency"),
+            ConstantLatency(constants.poll_one_way),
+        )
+        one_way = ConstantLatency(constants.request_one_way)
+        poll_way = ConstantLatency(constants.poll_one_way)
+        manager_way = ConstantLatency(constants.manager_one_way)
+        self.network.set_latency(MessageKind.REQUEST, one_way)
+        self.network.set_latency(MessageKind.RESPONSE, one_way)
+        self.network.set_latency(MessageKind.POLL, poll_way)
+        self.network.set_latency(MessageKind.POLL_REPLY, poll_way)
+        self.network.set_latency(MessageKind.BROADCAST, poll_way)
+        self.network.set_latency(MessageKind.PUBLISH, poll_way)
+        self.network.set_latency(MessageKind.MANAGER_QUERY, manager_way)
+        self.network.set_latency(MessageKind.MANAGER_REPLY, manager_way)
+        self.network.set_latency(MessageKind.MANAGER_NOTIFY, manager_way)
+
+        self.servers = [
+            ServerNode(
+                self.sim,
+                node_id=i,
+                workers=workers,
+                speed=1.0 if server_speeds is None else server_speeds[i],
+                record_queue=record_server_queues,
+                max_queue=server_max_queue,
+            )
+            for i in range(n_servers)
+        ]
+        for server in self.servers:
+            server.on_complete = self._on_server_complete
+        # Client node ids continue after server ids.
+        self.clients = [ClientNode(self.sim, n_servers + j) for j in range(n_clients)]
+        self._static_members = list(range(n_servers))
+
+        # Availability subsystem (optional).
+        self.availability_enabled = availability
+        self.publishers: dict[int, ServicePublisher] = {}
+        self.mapping_tables: dict[int, ServiceMappingTable] = {}
+        if availability:
+            channel = AvailabilityChannel(self.network)
+            self.availability_channel = channel
+            # Subscribe clients before the first publish round so no
+            # announcement is lost to construction ordering.
+            for client in self.clients:
+                table = ServiceMappingTable(self.sim, ttl=availability_ttl)
+                table.subscribe(channel, client.node_id)
+                # Prime the table so the first arrivals (before the first
+                # publish round lands) see the full membership.
+                for server in self.servers:
+                    table._on_publish(  # noqa: SLF001 - controlled priming
+                        Message(
+                            MessageKind.PUBLISH,
+                            server.node_id,
+                            client.node_id,
+                            (server.node_id, ((DEFAULT_SERVICE, 0),), 0.0),
+                            0,
+                            0.0,
+                        )
+                    )
+                self.mapping_tables[client.node_id] = table
+            for server in self.servers:
+                publisher = ServicePublisher(
+                    self.sim,
+                    channel,
+                    server.node_id,
+                    entries=[(DEFAULT_SERVICE, 0)],
+                    mean_interval=availability_refresh,
+                    rng=self.rng_hub.stream(f"availability.publish.{server.node_id}"),
+                )
+                self.publishers[server.node_id] = publisher
+                publisher.start()
+
+        # Workload slots.
+        self.n_requests = 0
+        self._service_times: Optional[np.ndarray] = None
+        self._arrival_times: Optional[np.ndarray] = None
+        self.metrics: Optional[ClusterMetrics] = None
+        self._completed = 0
+        self._runner_active = False
+        self._timeout_handles: dict[int, EventHandle] = {}
+
+        self.policy = policy
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # policy context API
+    # ------------------------------------------------------------------
+    def rng(self, name: str) -> np.random.Generator:
+        """Named deterministic substream (see :class:`RngHub`)."""
+        return self.rng_hub.stream(name)
+
+    def available_servers(self, client: ClientNode) -> list[int]:
+        """Candidate server ids for this client's next access."""
+        if not self.availability_enabled:
+            return self._static_members
+        return self.mapping_tables[client.node_id].available(DEFAULT_SERVICE, 0)
+
+    def poll_server(
+        self,
+        client: ClientNode,
+        server_id: int,
+        on_reply: Callable[[int, int], None],
+    ) -> None:
+        """Send a load inquiry; ``on_reply(server_id, queue_length)``.
+
+        Simulation model: one idle UDP round trip (290 µs), queue length
+        read when the inquiry reaches the server.
+
+        Prototype model (``overhead`` set): additionally charges client
+        CPU for the send/receive, steals server CPU for handling the
+        inquiry, and delays the reply by a load-dependent scheduling
+        delay — the two §4.1 overhead sources. The queue length is still
+        the value at inquiry arrival, so a slow reply carries *stale*
+        information (§3.2's motivation for discarding slow polls).
+        """
+        overhead = self.overhead
+        send_delay = 0.0
+        if overhead is not None:
+            send_delay = client.occupy(overhead.poll_send_cost)
+
+        def deliver_poll(_message: Message) -> None:
+            server = self.servers[server_id]
+            queue_length = server.queue_length
+            extra = 0.0
+            if overhead is not None:
+                extra = overhead.sample_reply_delay(
+                    server, self.rng_hub.stream("overhead.poll_delay")
+                )
+                server.steal_cpu(overhead.poll_cpu_cost)
+
+            def deliver_reply(_reply: Message) -> None:
+                if overhead is not None:
+                    recv_delay = client.occupy(overhead.poll_recv_cost)
+                    if recv_delay > 0.0:
+                        self.sim.after(recv_delay, lambda: on_reply(server_id, queue_length))
+                        return
+                on_reply(server_id, queue_length)
+
+            self.network.send(
+                MessageKind.POLL_REPLY,
+                server_id,
+                client.node_id,
+                None,
+                deliver_reply,
+                extra_delay=extra,
+            )
+
+        self.network.send(
+            MessageKind.POLL,
+            client.node_id,
+            server_id,
+            None,
+            deliver_poll,
+            extra_delay=send_delay,
+        )
+
+    def dispatch(self, client: ClientNode, request: Request, server_id: int) -> None:
+        """Send ``request`` to ``server_id`` (policies call this once
+        they have decided)."""
+        request.dispatch_time = self.sim.now
+        self.policy.notify_dispatch(client, request, server_id)
+        self.network.send(
+            MessageKind.REQUEST,
+            client.node_id,
+            server_id,
+            request,
+            self._deliver_request,
+        )
+        if self.request_timeout is not None:
+            self._timeout_handles[request.index] = self.sim.after(
+                self.request_timeout, self._on_request_timeout, request
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle internals
+    # ------------------------------------------------------------------
+    def load_workload(self, interarrival: np.ndarray, service: np.ndarray) -> None:
+        """Install the request stream (aligned gap/service arrays)."""
+        gaps = np.ascontiguousarray(interarrival, dtype=np.float64)
+        service_times = np.ascontiguousarray(service, dtype=np.float64)
+        if gaps.shape != service_times.shape or gaps.ndim != 1 or gaps.size == 0:
+            raise ValueError("interarrival and service must be equal-length non-empty 1-D")
+        self.n_requests = int(gaps.shape[0])
+        self._arrival_times = np.cumsum(gaps)
+        extra = 0.0 if self.overhead is None else self.overhead.request_cpu_overhead
+        self._service_times = service_times + extra
+        self.metrics = ClusterMetrics(self.n_requests)
+        self._completed = 0
+
+    def run(self, max_events_per_chunk: int = 200_000) -> ClusterMetrics:
+        """Run until every request has completed (or failed terminally)."""
+        if self._arrival_times is None or self.metrics is None:
+            raise SimulationError("load_workload() must be called before run()")
+        self.sim.at(float(self._arrival_times[0]), self._on_arrival, 0)
+        self._runner_active = True
+        try:
+            while self._completed < self.n_requests:
+                executed_before = self.sim.events_executed
+                try:
+                    self.sim.run(max_events=max_events_per_chunk)
+                except _RunComplete:
+                    break
+                if self.sim.events_executed == executed_before:
+                    raise SimulationError(
+                        f"deadlock: {self.n_requests - self._completed} requests "
+                        "incomplete but no events pending (a message was dropped "
+                        "without request_timeout set?)"
+                    )
+        finally:
+            self._runner_active = False
+        return self.metrics
+
+    def _on_arrival(self, index: int) -> None:
+        assert self._arrival_times is not None and self._service_times is not None
+        if index + 1 < self.n_requests:
+            self.sim.at(float(self._arrival_times[index + 1]), self._on_arrival, index + 1)
+        client = self.clients[index % self.n_clients]
+        request = Request(
+            index=index,
+            client_id=client.node_id,
+            service_time=float(self._service_times[index]),
+            arrival_time=self.sim.now,
+        )
+        self._safe_select(client, request)
+
+    def _safe_select(self, client: ClientNode, request: Request) -> None:
+        """Run the policy; an empty candidate set becomes a delayed retry
+        (e.g. every server's soft state expired after a mass failure)."""
+        from repro.core.base import NoCandidatesError
+
+        try:
+            self.policy.select(client, request)
+        except NoCandidatesError:
+            delay = self.request_timeout if self.request_timeout is not None else 0.1
+            self.sim.after(delay, self._retry, request)
+
+    def _deliver_request(self, message: Message) -> None:
+        server = self.servers[message.dst]
+        request: Request = message.payload
+        if not server.alive:
+            self.handle_server_loss(request)
+            return
+        if not server.enqueue(request):
+            # Admission control rejected: cancel any pending timeout and
+            # retry elsewhere (counts against max_retries).
+            handle = self._timeout_handles.pop(request.index, None)
+            if handle is not None:
+                self.sim.cancel(handle)
+            self._retry(request)
+
+    def _on_server_complete(self, server: ServerNode, request: Request) -> None:
+        self.network.send(
+            MessageKind.RESPONSE,
+            server.node_id,
+            request.client_id,
+            request,
+            self._deliver_response,
+        )
+
+    def _deliver_response(self, message: Message) -> None:
+        request: Request = message.payload
+        handle = self._timeout_handles.pop(request.index, None)
+        if handle is not None:
+            self.sim.cancel(handle)
+        request.response_time = self.sim.now - request.arrival_time
+        assert self.metrics is not None
+        self.metrics.record(request)
+        self._completed += 1
+        client = self.clients[(request.client_id - self.n_servers) % self.n_clients]
+        self.policy.notify_complete(client, request)
+        if self._completed >= self.n_requests and self._runner_active:
+            raise _RunComplete
+
+    def _on_request_timeout(self, request: Request) -> None:
+        self._timeout_handles.pop(request.index, None)
+        self._retry(request)
+
+    def handle_server_loss(self, request: Request) -> None:
+        """A server crashed with this request queued/in flight."""
+        handle = self._timeout_handles.pop(request.index, None)
+        if handle is not None:
+            self.sim.cancel(handle)
+        self._retry(request)
+
+    def _retry(self, request: Request) -> None:
+        request.retries += 1
+        client = self.clients[(request.client_id - self.n_servers) % self.n_clients]
+        if request.retries > self.max_retries:
+            request.failed = True
+            request.response_time = math.nan
+            assert self.metrics is not None
+            self.metrics.record(request)
+            self._completed += 1
+            if self._completed >= self.n_requests and self._runner_active:
+                raise _RunComplete
+            return
+        self._safe_select(client, request)
+
+    # ------------------------------------------------------------------
+    def total_stolen_cpu(self) -> float:
+        """CPU seconds stolen from services by poll handling (all servers)."""
+        return sum(server.stolen_cpu_total for server in self.servers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServiceCluster servers={self.n_servers} clients={self.n_clients} "
+            f"policy={self.policy.describe()} completed={self._completed}/{self.n_requests}>"
+        )

@@ -1,0 +1,88 @@
+"""Broadcast policy (paper §2.2).
+
+"an agent is deployed at each server which collects the server load
+information and announces it through a broadcast channel at various
+intervals. It is important to have non-fixed broadcast intervals to
+avoid the system self-synchronization. The intervals we use are evenly
+distributed between 0.5 and 1.5 times the mean value. Each client
+listens at this broadcast channel and maintains the server load
+information locally. Then every service request is made to a server
+with the lightest workload."
+
+Faithfulness notes:
+
+- Clients do **not** locally increment the perceived queue of the
+  server they just picked. That is exactly what produces the paper's
+  *flocking effect* — between consecutive broadcasts every client
+  floods the single perceived-minimum server.
+- Ties are broken uniformly at random (all tables start at zero, so a
+  deterministic argmin would initially flock to server 0 forever).
+- Announcement messages travel at the one-way UDP latency; each client
+  applies updates at its own delivery time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LoadBalancer, NoCandidatesError, choose_min_with_ties
+
+__all__ = ["BroadcastPolicy"]
+
+_TABLE_KEY = "broadcast.table"
+
+
+class BroadcastPolicy(LoadBalancer):
+    name = "broadcast"
+
+    def __init__(self, mean_interval: float):
+        super().__init__()
+        if mean_interval <= 0:
+            raise ValueError(f"mean_interval must be > 0, got {mean_interval}")
+        self.mean_interval = mean_interval
+        self.broadcasts_sent = 0
+
+    def _setup(self) -> None:
+        ctx = self.ctx
+        self._rng_ties = ctx.rng("policy.broadcast.ties")
+        self._rng_intervals = ctx.rng("policy.broadcast.intervals")
+        from repro.net.transport import BroadcastChannel
+
+        self._channel = BroadcastChannel(ctx.network)
+        for client in ctx.clients:
+            client.state[_TABLE_KEY] = np.zeros(ctx.n_servers)
+            self._channel.subscribe(
+                client.node_id,
+                lambda message, c=client: self._on_announcement(c, message),
+            )
+        for server in ctx.servers:
+            self._schedule_announcement(server.node_id)
+
+    # ------------------------------------------------------------------
+    def _schedule_announcement(self, server_id: int) -> None:
+        delay = float(self._rng_intervals.uniform(0.5, 1.5)) * self.mean_interval
+        self.ctx.sim.after(delay, self._announce, server_id)
+
+    def _announce(self, server_id: int) -> None:
+        server = self.ctx.servers[server_id]
+        if server.alive:
+            self.broadcasts_sent += 1
+            self._channel.publish(server_id, payload=(server_id, server.queue_length))
+        self._schedule_announcement(server_id)
+
+    def _on_announcement(self, client, message) -> None:
+        server_id, queue_length = message.payload
+        client.state[_TABLE_KEY][server_id] = queue_length
+
+    # ------------------------------------------------------------------
+    def select(self, client, request) -> None:
+        candidates = self.ctx.available_servers(client)
+        if not candidates:
+            raise NoCandidatesError("no live servers")
+        table = client.state[_TABLE_KEY]
+        values = [table[i] for i in candidates]
+        server_id = choose_min_with_ties(candidates, values, self._rng_ties)
+        self.ctx.dispatch(client, request, server_id)
+
+    def describe(self) -> str:
+        return f"broadcast({self.mean_interval * 1e3:g}ms)"

@@ -1,0 +1,43 @@
+"""Client-local least-connections (extension).
+
+The policy family used by nginx/HAProxy/Envoy when servers do not
+export load: each client tracks its *own* outstanding requests per
+server and picks the minimum. No messages at all — but each client only
+sees 1/n_clients of the traffic, so the signal is weak for fine-grain
+services with many clients. Included as a modern-practice baseline for
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import LoadBalancer, NoCandidatesError, choose_min_with_ties
+
+__all__ = ["LeastConnectionsPolicy"]
+
+_COUNTS_KEY = "least_connections.counts"
+
+
+class LeastConnectionsPolicy(LoadBalancer):
+    name = "least_connections"
+
+    def _setup(self) -> None:
+        self._rng = self.ctx.rng("policy.least_connections.ties")
+        for client in self.ctx.clients:
+            client.state[_COUNTS_KEY] = np.zeros(self.ctx.n_servers, dtype=np.int64)
+
+    def select(self, client, request) -> None:
+        candidates = self.ctx.available_servers(client)
+        if not candidates:
+            raise NoCandidatesError("no live servers")
+        counts = client.state[_COUNTS_KEY]
+        values = [int(counts[i]) for i in candidates]
+        server_id = choose_min_with_ties(candidates, values, self._rng)
+        self.ctx.dispatch(client, request, server_id)
+
+    def notify_dispatch(self, client, request, server_id) -> None:
+        client.state[_COUNTS_KEY][server_id] += 1
+
+    def notify_complete(self, client, request) -> None:
+        client.state[_COUNTS_KEY][request.server_id] -= 1

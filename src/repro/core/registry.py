@@ -1,0 +1,51 @@
+"""Policy registry: build policies by name (used by experiment configs)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import LoadBalancer
+from repro.core.broadcast import BroadcastPolicy
+from repro.core.ideal import IdealOracle
+from repro.core.jiq import JoinIdleQueuePolicy
+from repro.core.least_connections import LeastConnectionsPolicy
+from repro.core.manager import CentralizedManagerPolicy
+from repro.core.polling import RandomPollingPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.round_robin import RoundRobinPolicy
+from repro.core.stale import GlobalSnapshotPolicy
+
+__all__ = ["make_policy", "available_policies"]
+
+_REGISTRY: dict[str, Callable[..., LoadBalancer]] = {
+    "random": RandomPolicy,
+    "round_robin": RoundRobinPolicy,
+    "ideal": IdealOracle,
+    "jsq": IdealOracle,  # alias: IDEAL *is* join-shortest-queue with a free oracle
+    "broadcast": BroadcastPolicy,
+    "polling": RandomPollingPolicy,
+    "manager": CentralizedManagerPolicy,
+    "stale_jsq": GlobalSnapshotPolicy,
+    "least_connections": LeastConnectionsPolicy,
+    "jiq": JoinIdleQueuePolicy,
+}
+
+
+def available_policies() -> list[str]:
+    """Registered policy names."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, **params) -> LoadBalancer:
+    """Instantiate a policy by registry name.
+
+    Examples: ``make_policy("polling", poll_size=2)``,
+    ``make_policy("broadcast", mean_interval=0.1)``.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,28 @@
+"""Per-client round robin (extension baseline).
+
+Not evaluated in the paper, but the standard static policy of the
+Envoy/nginx family; included as an ablation baseline. Each *client*
+cycles through the candidate list independently (no shared state —
+clients inside the cluster do not coordinate).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import LoadBalancer, NoCandidatesError
+
+__all__ = ["RoundRobinPolicy"]
+
+_STATE_KEY = "round_robin.next"
+
+
+class RoundRobinPolicy(LoadBalancer):
+    name = "round_robin"
+
+    def select(self, client, request) -> None:
+        candidates = self.ctx.available_servers(client)
+        if not candidates:
+            raise NoCandidatesError("no live servers")
+        position = client.state.get(_STATE_KEY, 0)
+        server_id = candidates[position % len(candidates)]
+        client.state[_STATE_KEY] = (position + 1) % len(candidates)
+        self.ctx.dispatch(client, request, server_id)

@@ -1,0 +1,49 @@
+"""Experiment harness: configs, runners, result tables, figure drivers.
+
+The benches under ``benchmarks/`` are thin wrappers over
+:mod:`~repro.experiments.figures`, which regenerates every table and
+figure of the paper's evaluation:
+
+- :func:`~repro.experiments.figures.table1_traces`
+- :func:`~repro.experiments.figures.figure2_inaccuracy`
+- :func:`~repro.experiments.figures.figure3_broadcast`
+- :func:`~repro.experiments.figures.figure4_pollsize` (simulation model)
+- :func:`~repro.experiments.figures.figure6_pollsize` (prototype model)
+- :func:`~repro.experiments.figures.table2_discard`
+- :func:`~repro.experiments.figures.poll_profile_section32`
+- :func:`~repro.experiments.figures.message_scaling_section24`
+"""
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import (
+    SimulationResult,
+    build_cluster,
+    parallel_sweep,
+    run_simulation,
+)
+from repro.experiments.results import ResultTable
+from repro.experiments.report import format_table
+from repro.experiments.replication import (
+    ReplicatedResult,
+    compare_policies,
+    replicate,
+)
+from repro.experiments.io import load_results, save_results
+from repro.experiments import figures, regression
+
+__all__ = [
+    "ReplicatedResult",
+    "ResultTable",
+    "SimulationConfig",
+    "SimulationResult",
+    "build_cluster",
+    "compare_policies",
+    "figures",
+    "format_table",
+    "load_results",
+    "parallel_sweep",
+    "regression",
+    "replicate",
+    "run_simulation",
+    "save_results",
+]

@@ -1,0 +1,71 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["SimulationConfig"]
+
+_MODELS = ("simulation", "prototype")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """One cluster run: policy × workload × load × model.
+
+    ``model`` selects the paper's §2 pure simulation ("simulation") or
+    the §4 prototype-fidelity model ("prototype"): the latter adds the
+    overhead model and interprets ``load`` against the empirically
+    calibrated full-load point (98%-under-2s rule) instead of nominal
+    utilization.
+
+    ``overhead_params`` override :class:`PrototypeOverheadModel` fields;
+    ``full_load_rho`` short-circuits the calibration bisection when the
+    caller has already computed it (the sweep drivers do this once per
+    workload).
+    """
+
+    policy: str = "polling"
+    policy_params: dict[str, Any] = field(default_factory=dict)
+    workload: str = "poisson_exp"
+    workload_params: dict[str, Any] = field(default_factory=dict)
+    load: float = 0.9
+    n_servers: int = 16
+    n_clients: int = 6
+    n_requests: int = 20_000
+    seed: int = 0
+    model: str = "simulation"
+    warmup_fraction: float = 0.1
+    workers: int = 1
+    server_speeds: Optional[tuple[float, ...]] = None
+    overhead_params: dict[str, Any] = field(default_factory=dict)
+    full_load_rho: Optional[float] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.model not in _MODELS:
+            raise ValueError(f"model must be one of {_MODELS}, got {self.model!r}")
+        if not 0 < self.load:
+            raise ValueError(f"load must be > 0, got {self.load}")
+        if self.n_requests < 10:
+            raise ValueError(f"n_requests must be >= 10, got {self.n_requests}")
+        if not 0 <= self.warmup_fraction < 1:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+
+    def with_updates(self, **changes: Any) -> "SimulationConfig":
+        """A copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        params = ",".join(f"{k}={v}" for k, v in sorted(self.policy_params.items()))
+        return (
+            f"{self.policy}({params}) {self.workload} load={self.load:.0%} "
+            f"[{self.model}]"
+        )

@@ -1,0 +1,60 @@
+"""Persist and reload experiment results (JSON).
+
+Sweeps are expensive; archiving their results lets analyses, reports,
+and regressions run without re-simulating. The format is plain JSON —
+one document with a schema version, the library version, and a list of
+``SimulationResult`` records (configs nested) — so archives stay
+greppable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import SimulationResult
+
+__all__ = ["save_results", "load_results"]
+
+_SCHEMA_VERSION = 1
+
+
+def _result_to_dict(result: SimulationResult) -> dict:
+    out = asdict(result)
+    # tuples -> lists happen automatically via asdict+json; nothing else
+    # in the dataclasses is non-JSON (dicts, floats, ints, strings).
+    return out
+
+
+def save_results(results: Sequence[SimulationResult], path: str | Path) -> None:
+    """Write results (and their configs) to ``path`` as JSON."""
+    from repro import __version__
+
+    document = {
+        "schema_version": _SCHEMA_VERSION,
+        "library_version": __version__,
+        "results": [_result_to_dict(result) for result in results],
+    }
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+
+
+def load_results(path: str | Path) -> list[SimulationResult]:
+    """Reload results written by :func:`save_results`."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported results schema {version!r} (expected {_SCHEMA_VERSION})"
+        )
+    out = []
+    for record in document["results"]:
+        config_dict = record.pop("config")
+        if config_dict.get("server_speeds") is not None:
+            config_dict["server_speeds"] = tuple(config_dict["server_speeds"])
+        record["server_counts"] = tuple(record.get("server_counts", ()))
+        config = SimulationConfig(**config_dict)
+        out.append(SimulationResult(config=config, **record))
+    return out

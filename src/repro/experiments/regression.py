@@ -1,0 +1,139 @@
+"""Behavioral regression checks against archived results.
+
+Simulation refactors are dangerous precisely because the test suite can
+stay green while the *numbers* drift. This module provides:
+
+- :func:`canonical_configs` — a small, fixed sweep covering every
+  policy family and both models;
+- :func:`compare_to_baseline` — run the sweep and compare each mean
+  response time to an archived JSON baseline within a relative
+  tolerance, reporting per-config drift.
+
+The committed baseline lives at ``benchmarks/baselines/canonical.json``
+and is checked by ``tests/integration/test_regression_baseline.py``.
+Exact equality is deliberately not required: changes that legitimately
+alter random-number consumption (e.g. a different sampling algorithm
+with the same distribution) shift individual runs; the tolerance bounds
+*behavioral* drift instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.io import load_results, save_results
+from repro.experiments.runner import SimulationResult, parallel_sweep
+
+__all__ = [
+    "BaselineComparison",
+    "canonical_configs",
+    "compare_to_baseline",
+    "write_baseline",
+]
+
+#: default location of the committed baseline archive
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "baselines" / "canonical.json"
+)
+
+
+def canonical_configs(n_requests: int = 4000) -> list[SimulationConfig]:
+    """A fixed sweep covering every policy family and both models."""
+    base = SimulationConfig(
+        workload="poisson_exp", load=0.9, n_servers=16, n_requests=n_requests,
+        seed=20260706,
+    )
+    configs = [
+        base.with_updates(policy="random", label="random"),
+        base.with_updates(policy="ideal", label="ideal"),
+        base.with_updates(policy="polling", policy_params={"poll_size": 2},
+                          label="poll2"),
+        base.with_updates(policy="broadcast", policy_params={"mean_interval": 0.05},
+                          label="broadcast50ms"),
+        base.with_updates(policy="least_connections", label="least_connections"),
+        base.with_updates(policy="jiq", label="jiq"),
+        base.with_updates(workload="fine_grain", policy="polling",
+                          policy_params={"poll_size": 3}, label="fine_poll3"),
+        base.with_updates(workload="medium_grain", policy="polling",
+                          policy_params={"poll_size": 2}, label="medium_poll2"),
+        base.with_updates(
+            workload="fine_grain", model="prototype", full_load_rho=0.99,
+            policy="polling",
+            policy_params={"poll_size": 3, "discard_slow": True},
+            label="proto_fine_poll3_discard",
+        ),
+        base.with_updates(model="prototype", full_load_rho=0.92,
+                          policy="manager", label="proto_manager"),
+    ]
+    return configs
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Outcome of one config's baseline check."""
+
+    label: str
+    baseline: float
+    current: float
+
+    @property
+    def drift(self) -> float:
+        """Relative drift of the current mean vs the baseline."""
+        return self.current / self.baseline - 1.0
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<28s} baseline {self.baseline * 1e3:8.2f} ms   "
+            f"current {self.current * 1e3:8.2f} ms   drift {self.drift:+7.2%}"
+        )
+
+
+def write_baseline(path: str | Path = DEFAULT_BASELINE,
+                   n_requests: int = 4000) -> list[SimulationResult]:
+    """Run the canonical sweep and archive it as the new baseline."""
+    results = parallel_sweep(canonical_configs(n_requests), parallel=False)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_results(results, path)
+    return results
+
+
+def compare_to_baseline(
+    path: str | Path = DEFAULT_BASELINE,
+    tolerance: float = 0.25,
+    n_requests: int | None = None,
+) -> list[BaselineComparison]:
+    """Re-run the canonical sweep and compare to the archive.
+
+    Raises AssertionError listing every config whose mean response time
+    drifted more than ``tolerance`` (relative). ``n_requests`` defaults
+    to whatever the archive was recorded with.
+    """
+    baseline_results = load_results(path)
+    by_label = {r.config.label: r for r in baseline_results}
+    requests = n_requests or baseline_results[0].config.n_requests
+    current_results = parallel_sweep(canonical_configs(requests), parallel=False)
+    comparisons = []
+    failures = []
+    for result in current_results:
+        label = result.config.label
+        if label not in by_label:
+            failures.append(f"{label}: missing from baseline (regenerate it)")
+            continue
+        comparison = BaselineComparison(
+            label=label,
+            baseline=by_label[label].mean_response_time,
+            current=result.mean_response_time,
+        )
+        comparisons.append(comparison)
+        if abs(comparison.drift) > tolerance:
+            failures.append(comparison.row())
+    if failures:
+        raise AssertionError(
+            "behavioral drift beyond tolerance "
+            f"{tolerance:.0%}:\n" + "\n".join(failures)
+        )
+    return comparisons

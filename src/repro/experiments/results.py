@@ -1,0 +1,79 @@
+"""Tabular result container for sweeps."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.experiments.report import format_table
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """An ordered list of result rows (dicts) with rendering helpers."""
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("at least one column required")
+        self.columns = list(columns)
+        self.rows: list[dict[str, Any]] = []
+
+    def add(self, **values: Any) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"missing columns: {sorted(missing)}")
+        self.rows.append({column: values[column] for column in self.columns})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row[name] for row in self.rows]
+
+    def where(self, predicate: Callable[[dict[str, Any]], bool]) -> "ResultTable":
+        out = ResultTable(self.columns)
+        out.rows = [row for row in self.rows if predicate(row)]
+        return out
+
+    def sorted_by(self, *names: str) -> "ResultTable":
+        out = ResultTable(self.columns)
+        out.rows = sorted(self.rows, key=lambda row: tuple(row[n] for n in names))
+        return out
+
+    def pivot(self, index: str, column: str, value: str) -> "ResultTable":
+        """Wide-format view: one row per ``index``, one column per
+        distinct ``column`` value (how the figure benches print series).
+        """
+        column_values = sorted({row[column] for row in self.rows}, key=str)
+        out = ResultTable([index] + [str(v) for v in column_values])
+        for index_value in dict.fromkeys(row[index] for row in self.rows):
+            entry: dict[str, Any] = {index: index_value}
+            for cv in column_values:
+                matches = [
+                    row[value]
+                    for row in self.rows
+                    if row[index] == index_value and row[column] == cv
+                ]
+                entry[str(cv)] = matches[0] if matches else None
+            out.rows.append(entry)
+        return out
+
+    def render(self, floatfmt: str = "{:.3f}") -> str:
+        body = [
+            [_fmt(row[column], floatfmt) for column in self.columns]
+            for row in self.rows
+        ]
+        return format_table(self.columns, body)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: Any, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)

@@ -1,0 +1,209 @@
+"""Build and run configured experiments, serially or in parallel.
+
+Parallelism model (per the hpc-parallel guides): each configuration is
+an independent, CPU-bound, pure-Python simulation, so sweeps fan out
+over a ``ProcessPoolExecutor`` (threads would serialize on the GIL).
+Determinism is preserved because every config carries its own seed and
+all randomness flows through named substreams — results are identical
+whether a sweep runs serially, in parallel, or reordered.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.system import ClusterMetrics, ServiceCluster
+from repro.core.registry import make_policy
+from repro.experiments.config import SimulationConfig
+from repro.prototype.calibration import calibrate_full_load
+from repro.prototype.overhead import PrototypeOverheadModel
+from repro.sim.rng import RngHub
+from repro.workload.workloads import make_workload
+
+__all__ = ["SimulationResult", "build_cluster", "run_simulation", "parallel_sweep"]
+
+#: process-local cache of full-load calibrations keyed by workload identity
+_CALIBRATION_CACHE: dict[tuple, float] = {}
+
+#: fixed seed for calibration probes — full load is a property of the
+#: workload + overhead model, not of any particular experiment run
+_CALIBRATION_SEED = 424242
+
+#: counters exported by policies into SimulationResult.policy_counters
+_POLICY_COUNTER_ATTRS = (
+    "polls_sent",
+    "replies_received",
+    "replies_discarded",
+    "timeouts_fired",
+    "broadcasts_sent",
+    "queries_served",
+    "refreshes",
+)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one configured run (times in seconds)."""
+
+    config: SimulationConfig
+    mean_response_time: float
+    p50_response_time: float
+    p90_response_time: float
+    p99_response_time: float
+    mean_poll_time: float
+    n_measured: int
+    n_failed: int
+    nominal_rho: float
+    wall_seconds: float
+    events_executed: int
+    message_counts: dict[str, int] = field(default_factory=dict)
+    policy_counters: dict[str, int] = field(default_factory=dict)
+    stolen_cpu: float = 0.0
+    server_counts: tuple[int, ...] = ()
+
+    @property
+    def mean_response_time_ms(self) -> float:
+        return self.mean_response_time * 1e3
+
+    @property
+    def mean_poll_time_ms(self) -> float:
+        return self.mean_poll_time * 1e3
+
+
+def _resolve_nominal_rho(config: SimulationConfig, overhead) -> float:
+    """Requested load level -> nominal per-server utilization."""
+    if config.model == "simulation":
+        return config.load
+    if config.full_load_rho is not None:
+        return config.load * config.full_load_rho
+    return config.load * full_load_rho_for(config, overhead)
+
+
+def full_load_rho_for(config: SimulationConfig, overhead=None) -> float:
+    """Calibrated 100%-load nominal utilization for a config's workload.
+
+    Cached per (workload, workload_params, overhead) within the process.
+    """
+    overhead = overhead or _overhead_for(config)
+    key = (
+        config.workload,
+        tuple(sorted(config.workload_params.items())),
+        overhead,
+    )
+    cached = _CALIBRATION_CACHE.get(key)
+    if cached is None:
+        workload = make_workload(config.workload, **config.workload_params)
+        calibration = calibrate_full_load(workload, overhead, seed=_CALIBRATION_SEED)
+        cached = calibration.nominal_rho_at_full_load
+        _CALIBRATION_CACHE[key] = cached
+    return cached
+
+
+def _overhead_for(config: SimulationConfig) -> Optional[PrototypeOverheadModel]:
+    if config.model != "prototype":
+        return None
+    return PrototypeOverheadModel(**config.overhead_params)
+
+
+def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
+    """Construct the cluster + workload for a config.
+
+    Returns ``(cluster, nominal_rho)``; the workload is already loaded.
+    """
+    overhead = _overhead_for(config)
+    nominal_rho = _resolve_nominal_rho(config, overhead)
+    workload = make_workload(config.workload, **config.workload_params)
+    hub = RngHub(config.seed)
+    gaps, services = workload.generate(hub.stream("workload"), config.n_requests)
+    mean_service = float(services.mean())
+    target_interval = mean_service / (config.n_servers * nominal_rho)
+    gaps = gaps * (target_interval / float(gaps.mean()))
+
+    policy = make_policy(config.policy, **config.policy_params)
+    cluster = ServiceCluster(
+        n_servers=config.n_servers,
+        policy=policy,
+        seed=config.seed,
+        n_clients=config.n_clients,
+        overhead=overhead,
+        workers=config.workers,
+        server_speeds=list(config.server_speeds) if config.server_speeds else None,
+    )
+    cluster.load_workload(gaps, services)
+    return cluster, nominal_rho
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Run one configuration to completion and summarize."""
+    started = time.perf_counter()
+    cluster, nominal_rho = build_cluster(config)
+    metrics: ClusterMetrics = cluster.run()
+    summary = metrics.summary(config.warmup_fraction)
+    counters = {
+        name: getattr(cluster.policy, name)
+        for name in _POLICY_COUNTER_ATTRS
+        if hasattr(cluster.policy, name)
+    }
+    return SimulationResult(
+        config=config,
+        mean_response_time=summary["mean_response_time"],
+        p50_response_time=summary["p50_response_time"],
+        p90_response_time=summary["p90_response_time"],
+        p99_response_time=summary["p99_response_time"],
+        mean_poll_time=summary["mean_poll_time"],
+        n_measured=summary["n_measured"],
+        n_failed=summary["n_failed"],
+        nominal_rho=nominal_rho,
+        wall_seconds=time.perf_counter() - started,
+        events_executed=cluster.sim.events_executed,
+        message_counts={
+            kind.value: count for kind, count in cluster.network.message_counts.items()
+        },
+        policy_counters=counters,
+        stolen_cpu=cluster.total_stolen_cpu(),
+        server_counts=tuple(
+            int(v) for v in metrics.server_counts(config.n_servers, config.warmup_fraction)
+        ),
+    )
+
+
+def parallel_sweep(
+    configs: Sequence[SimulationConfig],
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> list[SimulationResult]:
+    """Run many configurations; results in input order.
+
+    ``parallel=False`` (or a single config) runs serially — results are
+    bit-identical either way.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if not parallel or len(configs) == 1:
+        return [run_simulation(config) for config in configs]
+    # Prototype configs without a precomputed full_load_rho would redo
+    # the calibration bisection in every worker; do it once here.
+    prepared: list[SimulationConfig] = []
+    for config in configs:
+        if config.model == "prototype" and config.full_load_rho is None:
+            config = config.with_updates(full_load_rho=full_load_rho_for(config))
+        prepared.append(config)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(run_simulation, prepared, chunksize=1))
+
+
+def normalized_to_baseline(
+    results: Sequence[SimulationResult], baseline: SimulationResult
+) -> list[float]:
+    """Mean response times normalized to a baseline run (Figure 3 style)."""
+    base = baseline.mean_response_time
+    if not math.isfinite(base) or base <= 0:
+        raise ValueError("baseline has no valid mean response time")
+    return [result.mean_response_time / base for result in results]

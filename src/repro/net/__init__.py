@@ -1,0 +1,41 @@
+"""Message-level network substrate for the service cluster.
+
+Clients and servers inside the paper's cluster communicate over a
+switched 100 Mb/s Ethernet (layer 2) with no TCP-aware front end, so all
+load information travels in explicit messages. This subpackage provides:
+
+- :mod:`~repro.net.latency` — latency models plus the paper's measured
+  constants (516 µs request+response, 290 µs idle UDP RTT, 339 µs TCP RTT
+  without setup/teardown).
+- :mod:`~repro.net.transport` — unicast :class:`Network` with per-kind
+  message/byte accounting and a :class:`BroadcastChannel`.
+- :mod:`~repro.net.switch` — an optional store-and-forward switched
+  Ethernet model (per-port egress queues, serialization delay) for
+  ablations that need bandwidth contention.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    PaperNetworkConstants,
+    PAPER_NET,
+    UniformLatency,
+)
+from repro.net.message import Message, MessageKind
+from repro.net.transport import BroadcastChannel, Network
+from repro.net.switch import SwitchedEthernet
+
+__all__ = [
+    "BroadcastChannel",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LatencyModel",
+    "Message",
+    "MessageKind",
+    "Network",
+    "PAPER_NET",
+    "PaperNetworkConstants",
+    "SwitchedEthernet",
+    "UniformLatency",
+]

@@ -1,0 +1,76 @@
+"""Message record and kind taxonomy."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+__all__ = ["Message", "MessageKind"]
+
+
+class MessageKind(str, Enum):
+    """Kinds of cluster-internal messages (used for accounting).
+
+    The paper's §2.4 scalability argument is about how message *counts*
+    of each kind scale with load, servers, and clients — the transport
+    tallies them per kind so the argument can be reproduced empirically.
+    """
+
+    REQUEST = "request"
+    RESPONSE = "response"
+    POLL = "poll"
+    POLL_REPLY = "poll_reply"
+    BROADCAST = "broadcast"
+    MANAGER_QUERY = "manager_query"
+    MANAGER_REPLY = "manager_reply"
+    MANAGER_NOTIFY = "manager_notify"
+    PUBLISH = "publish"
+    HEARTBEAT = "heartbeat"
+    OTHER = "other"
+
+
+class Message:
+    """A message in flight. ``payload`` is arbitrary Python data."""
+
+    __slots__ = ("kind", "src", "dst", "payload", "size_bytes", "send_time")
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        src: int,
+        dst: int,
+        payload: Any,
+        size_bytes: int,
+        send_time: float,
+    ):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.send_time = send_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message {self.kind.value} {self.src}->{self.dst} "
+            f"t={self.send_time:.6f} {self.size_bytes}B>"
+        )
+
+
+#: Default wire sizes (bytes) per message kind; small control messages
+#: modelled as one minimal Ethernet frame, requests/responses as a small
+#: RPC payload. Only used for byte accounting and the optional switch
+#: model — the constant-latency experiments are size-independent.
+DEFAULT_SIZES: dict[MessageKind, int] = {
+    MessageKind.REQUEST: 512,
+    MessageKind.RESPONSE: 1024,
+    MessageKind.POLL: 64,
+    MessageKind.POLL_REPLY: 64,
+    MessageKind.BROADCAST: 64,
+    MessageKind.MANAGER_QUERY: 64,
+    MessageKind.MANAGER_REPLY: 64,
+    MessageKind.MANAGER_NOTIFY: 64,
+    MessageKind.PUBLISH: 128,
+    MessageKind.HEARTBEAT: 64,
+    MessageKind.OTHER: 64,
+}

@@ -1,0 +1,155 @@
+"""Unicast network and broadcast channel with message accounting.
+
+The default transport applies a per-kind one-way :class:`LatencyModel`
+and delivers via a scheduled callback. Every send is tallied (count and
+bytes per :class:`MessageKind`), which is what the §2.4 message-scaling
+ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import DEFAULT_SIZES, Message, MessageKind
+from repro.sim.engine import Simulator
+
+__all__ = ["Network", "BroadcastChannel"]
+
+DeliveryCallback = Callable[[Message], None]
+
+
+class Network:
+    """Point-to-point message delivery with per-kind latency models.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives deliveries.
+    rng:
+        Generator used by stochastic latency models.
+    default_latency:
+        Fallback one-way latency model for kinds without an override.
+    """
+
+    __slots__ = (
+        "sim",
+        "rng",
+        "default_latency",
+        "_latency_by_kind",
+        "message_counts",
+        "byte_counts",
+        "drop_filter",
+        "dropped_counts",
+        "switch",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        default_latency: Optional[LatencyModel] = None,
+        switch=None,
+    ):
+        self.sim = sim
+        self.rng = rng
+        self.default_latency = default_latency or ConstantLatency(150e-6)
+        self._latency_by_kind: dict[MessageKind, LatencyModel] = {}
+        self.message_counts: dict[MessageKind, int] = {}
+        self.byte_counts: dict[MessageKind, int] = {}
+        #: optional callable(Message) -> bool; True means drop (used by
+        #: failure injection to partition crashed nodes)
+        self.drop_filter: Optional[Callable[[Message], bool]] = None
+        self.dropped_counts: dict[MessageKind, int] = {}
+        #: optional :class:`repro.net.switch.SwitchedEthernet`; when set,
+        #: messages transit the switch (per-port serialization and FIFO
+        #: contention) *in addition to* the per-kind latency model, which
+        #: then represents protocol-stack time only. Used to validate
+        #: the constant-latency abstraction against explicit contention.
+        self.switch = switch
+
+    def set_latency(self, kind: MessageKind, model: LatencyModel) -> None:
+        """Override the one-way latency model for one message kind."""
+        self._latency_by_kind[kind] = model
+
+    def latency_for(self, kind: MessageKind) -> LatencyModel:
+        return self._latency_by_kind.get(kind, self.default_latency)
+
+    def send(
+        self,
+        kind: MessageKind,
+        src: int,
+        dst: int,
+        payload: Any,
+        on_delivery: DeliveryCallback,
+        size_bytes: Optional[int] = None,
+        extra_delay: float = 0.0,
+    ) -> Message:
+        """Send a message; ``on_delivery(message)`` fires at arrival.
+
+        ``extra_delay`` is added on top of the sampled network latency
+        (used by the prototype model for load-dependent response delays).
+        """
+        size = DEFAULT_SIZES[kind] if size_bytes is None else size_bytes
+        message = Message(kind, src, dst, payload, size, self.sim.now)
+        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+        self.byte_counts[kind] = self.byte_counts.get(kind, 0) + size
+        if self.drop_filter is not None and self.drop_filter(message):
+            self.dropped_counts[kind] = self.dropped_counts.get(kind, 0) + 1
+            return message
+        latency = self.latency_for(kind).sample(self.rng) + extra_delay
+        if self.switch is not None:
+            self.sim.after(
+                latency,
+                lambda m=message: self.switch.transit(m, on_delivery),
+            )
+        else:
+            self.sim.after(latency, on_delivery, message)
+        return message
+
+    def total_messages(self) -> int:
+        """Total messages sent (all kinds, including dropped)."""
+        return sum(self.message_counts.values())
+
+    def reset_counters(self) -> None:
+        """Zero the accounting tallies (e.g. after warmup)."""
+        self.message_counts.clear()
+        self.byte_counts.clear()
+        self.dropped_counts.clear()
+
+
+class BroadcastChannel:
+    """A one-to-many channel (IP multicast / well-known pub-sub channel).
+
+    Subscribers register a delivery callback; a publish fans out one
+    message per subscriber (each with its own latency draw), matching the
+    paper's accounting in which broadcast cost scales with the number of
+    clients.
+    """
+
+    __slots__ = ("network", "kind", "_subscribers")
+
+    def __init__(self, network: Network, kind: MessageKind = MessageKind.BROADCAST):
+        self.network = network
+        self.kind = kind
+        self._subscribers: list[tuple[int, DeliveryCallback]] = []
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def subscribe(self, node_id: int, on_delivery: DeliveryCallback) -> None:
+        """Register ``on_delivery`` for messages published on the channel."""
+        self._subscribers.append((node_id, on_delivery))
+
+    def unsubscribe(self, node_id: int) -> None:
+        """Remove all subscriptions for ``node_id``."""
+        self._subscribers = [(n, cb) for (n, cb) in self._subscribers if n != node_id]
+
+    def publish(self, src: int, payload: Any, size_bytes: Optional[int] = None) -> int:
+        """Publish to all subscribers; returns the fan-out count."""
+        for node_id, callback in self._subscribers:
+            self.network.send(self.kind, src, node_id, payload, callback, size_bytes)
+        return len(self._subscribers)

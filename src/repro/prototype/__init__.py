@@ -1,0 +1,37 @@
+"""Prototype-fidelity model of the paper's Linux-cluster testbed.
+
+The paper's §4 point is that the idealized simulation (§2) misses
+overheads that matter for fine-grain services. This subpackage supplies
+those overheads as a model layered onto the same cluster simulator
+(the substitution documented in DESIGN.md §2):
+
+- :class:`~repro.prototype.overhead.PrototypeOverheadModel` — per-access
+  server CPU overhead, client CPU cost per poll sent/received, server
+  CPU stolen per inquiry handled, and a load-dependent poll-reply delay
+  whose 10/20 ms modes come from the Linux scheduler quantum. Default
+  parameters are calibrated to the paper's §3.2 profile (at d=3, 90%
+  load, 16 servers: 8.1% of polls exceed 10 ms, 5.6% exceed 20 ms).
+- :mod:`~repro.prototype.calibration` — the paper's empirical full-load
+  rule: 100% load is the single-server request rate at which ~98% of
+  requests complete within 2 seconds.
+- :mod:`~repro.prototype.profiling` — measure the slow-poll fractions of
+  a run (regenerates the §3.2 profile).
+"""
+
+from repro.prototype.overhead import PAPER_PROFILE, PollDelayModel, PrototypeOverheadModel
+from repro.prototype.calibration import FullLoadCalibration, calibrate_full_load
+from repro.prototype.profiling import PollProfile, profile_poll_delays
+from repro.prototype.microbench import SpinCalibration, calibrate_spin, spin_for
+
+__all__ = [
+    "FullLoadCalibration",
+    "PAPER_PROFILE",
+    "PollDelayModel",
+    "PollProfile",
+    "PrototypeOverheadModel",
+    "SpinCalibration",
+    "calibrate_full_load",
+    "calibrate_spin",
+    "profile_poll_delays",
+    "spin_for",
+]

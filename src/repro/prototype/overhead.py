@@ -1,0 +1,126 @@
+"""Prototype overhead model: where the testbed differs from the ideal.
+
+The paper attributes the prototype/simulation gap to polling overheads
+(§4.1): "1) longer polling delays resulted from larger poll size; 2)
+less accurate server load index due to longer polling delay." Behind
+those are concrete mechanisms on 2001-era Linux (2.2/2.4 kernels,
+dual 400 MHz Pentium II):
+
+- The load-index responder is a user-level thread; when the node's CPU
+  is pinned by service work (a CPU-spinning microbenchmark), the
+  responder waits for a scheduling opportunity. Scheduler quanta were
+  ~10 ms — hence the paper's observed 10 ms / 20 ms poll-delay modes
+  (8.1% of polls >10 ms, 5.6% >20 ms at d=3, 90% load).
+- Handling an inquiry costs real CPU (UDP receive, wakeup, send),
+  stolen from the service threads.
+- The client pays CPU per poll sent and per reply collected
+  (connected-UDP ``select`` loop).
+
+:class:`PollDelayModel` encodes the reply delay as a three-mode mixture
+conditioned on the server being busy; :class:`PrototypeOverheadModel`
+bundles all knobs with defaults calibrated to the published profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.server import ServerNode
+
+__all__ = ["PollDelayModel", "PrototypeOverheadModel", "PAPER_PROFILE"]
+
+
+@dataclass(frozen=True)
+class PollDelayModel:
+    """Load-dependent extra delay before a poll reply leaves the server.
+
+    When the server is idle the responder runs immediately (no extra
+    delay). When busy, a three-mode mixture applies:
+
+    - *fast*: the responder preempts quickly (softirq + brief wait),
+      uniform on ``[0, fast_max]``;
+    - *one quantum*: the responder waits out one scheduler timeslice,
+      uniform on ``[quantum, 2*quantum]``;
+    - *multi quantum*: the responder loses several timeslices,
+      ``2*quantum + Exp(multi_tail_mean)``.
+
+    Default weights reproduce the paper's profile: with the server busy
+    ~90% of the time (90% load), P(delay > 10 ms) ≈ 0.9 × (0.028 +
+    0.062) ≈ 8.1% and P(delay > 20 ms) ≈ 0.9 × 0.062 ≈ 5.6%.
+    """
+
+    fast_weight: float = 0.910
+    one_quantum_weight: float = 0.028
+    multi_quantum_weight: float = 0.062
+    fast_max: float = 0.6e-3
+    quantum: float = 10e-3
+    multi_tail_mean: float = 5e-3
+
+    def __post_init__(self) -> None:
+        total = self.fast_weight + self.one_quantum_weight + self.multi_quantum_weight
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mixture weights must sum to 1, got {total}")
+        if min(self.fast_weight, self.one_quantum_weight, self.multi_quantum_weight) < 0:
+            raise ValueError("mixture weights must be >= 0")
+        if self.fast_max < 0 or self.quantum <= 0 or self.multi_tail_mean <= 0:
+            raise ValueError("delay parameters must be positive")
+
+    def sample_busy(self, rng: np.random.Generator) -> float:
+        """Draw one extra delay, given the server is busy."""
+        u = rng.random()
+        if u < self.fast_weight:
+            return float(rng.uniform(0.0, self.fast_max))
+        if u < self.fast_weight + self.one_quantum_weight:
+            return float(rng.uniform(self.quantum, 2.0 * self.quantum))
+        return 2.0 * self.quantum + float(rng.exponential(self.multi_tail_mean))
+
+    def exceed_probabilities(self, busy_probability: float) -> tuple[float, float]:
+        """Analytic P(delay > quantum), P(delay > 2*quantum).
+
+        Used by the calibration test against the paper's 8.1% / 5.6%.
+        """
+        if not 0 <= busy_probability <= 1:
+            raise ValueError(f"busy_probability must be in [0,1], got {busy_probability}")
+        over_one = self.one_quantum_weight + self.multi_quantum_weight
+        over_two = self.multi_quantum_weight
+        return busy_probability * over_one, busy_probability * over_two
+
+
+#: The paper's published §3.2 profile: fractions of polls slower than
+#: 10 ms and 20 ms at poll size 3, 90% server load, 16 servers.
+PAPER_PROFILE = (0.081, 0.056)
+
+
+@dataclass(frozen=True)
+class PrototypeOverheadModel:
+    """All prototype overheads, bundled for :class:`ServiceCluster`.
+
+    Parameters (seconds of CPU unless noted):
+
+    - ``request_cpu_overhead`` — per-access server-side cost beyond the
+      intended service time (dispatch, queue management, socket work).
+    - ``poll_cpu_cost`` — server CPU stolen per inquiry handled; the
+      in-flight service completion is pushed back by this much.
+    - ``poll_send_cost`` / ``poll_recv_cost`` — client CPU per poll sent
+      and per reply collected; client CPU work serializes.
+    - ``poll_delay`` — the load-dependent reply delay model.
+    """
+
+    request_cpu_overhead: float = 300e-6
+    poll_cpu_cost: float = 350e-6
+    poll_send_cost: float = 25e-6
+    poll_recv_cost: float = 25e-6
+    poll_delay: PollDelayModel = field(default_factory=PollDelayModel)
+
+    def __post_init__(self) -> None:
+        for name in ("request_cpu_overhead", "poll_cpu_cost", "poll_send_cost", "poll_recv_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def sample_reply_delay(self, server: ServerNode, rng: np.random.Generator) -> float:
+        """Extra reply latency for an inquiry arriving at ``server`` now."""
+        if not server.busy:
+            return 0.0
+        return self.poll_delay.sample_busy(rng)

@@ -1,0 +1,76 @@
+"""Poll-delay profiling: regenerate the paper's §3.2 profile.
+
+"We profiled a typical run under a poll size of 3, a server load index
+of 90%, and 16 server nodes. The profiling shows that 8.1% of the polls
+are not completed within 10 ms and 5.6% of them are not completed
+within 20 ms."
+
+:func:`profile_poll_delays` runs the prototype model while wiretapping
+every poll round trip and reports the exceedance fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.system import ServiceCluster
+
+__all__ = ["PollProfile", "profile_poll_delays"]
+
+
+@dataclass(frozen=True)
+class PollProfile:
+    """Observed poll round-trip statistics."""
+
+    n_polls: int
+    mean_rtt: float
+    frac_over_10ms: float
+    frac_over_20ms: float
+
+    def row(self) -> str:
+        return (
+            f"polls={self.n_polls:>8d}  mean RTT={self.mean_rtt * 1e3:6.2f}ms  "
+            f">10ms: {self.frac_over_10ms:6.2%}  >20ms: {self.frac_over_20ms:6.2%}"
+        )
+
+
+def profile_poll_delays(cluster: ServiceCluster) -> "_PollTap":
+    """Install a poll wiretap on ``cluster``; run it, then call
+    ``tap.profile()``.
+
+    Must be called before ``cluster.run()``.
+    """
+    return _PollTap(cluster)
+
+
+class _PollTap:
+    """Wraps ``cluster.poll_server`` to time each poll round trip."""
+
+    def __init__(self, cluster: ServiceCluster):
+        self.cluster = cluster
+        self.rtts: list[float] = []
+        self._inner = cluster.poll_server
+
+        def tapped(client, server_id, on_reply):
+            sent_at = cluster.sim.now
+
+            def timed_reply(sid: int, qlen: int) -> None:
+                self.rtts.append(cluster.sim.now - sent_at)
+                on_reply(sid, qlen)
+
+            self._inner(client, server_id, timed_reply)
+
+        cluster.poll_server = tapped  # type: ignore[method-assign]
+
+    def profile(self) -> PollProfile:
+        if not self.rtts:
+            raise RuntimeError("no polls observed; did the policy poll?")
+        rtts = np.asarray(self.rtts)
+        return PollProfile(
+            n_polls=int(rtts.size),
+            mean_rtt=float(rtts.mean()),
+            frac_over_10ms=float((rtts > 10e-3).mean()),
+            frac_over_20ms=float((rtts > 20e-3).mean()),
+        )

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the event-driven substrate used by every other
+part of :mod:`repro`:
+
+- :class:`~repro.sim.engine.Simulator` — a flat binary-heap event
+  scheduler with lazy cancellation (the hot path).
+- :class:`~repro.sim.events.Signal` and combinators — one-shot waitable
+  events for the process layer.
+- :class:`~repro.sim.process.Process` — generator-based processes layered
+  on top of the callback scheduler (convenient, kept off hot paths).
+- :mod:`~repro.sim.resources` — counted resources and FIFO stores.
+- :mod:`~repro.sim.rng` — named, deterministic random substreams.
+- :mod:`~repro.sim.monitor` — NumPy-backed time-series and tally
+  recorders.
+"""
+
+from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.events import AllOf, AnyOf, Signal
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngHub, substream_seed
+from repro.sim.monitor import GrowableArray, StepRecorder, TallyRecorder
+from repro.sim.tracing import EventTrace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "EventHandle",
+    "EventTrace",
+    "GrowableArray",
+    "Process",
+    "Resource",
+    "RngHub",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "StepRecorder",
+    "Store",
+    "TallyRecorder",
+    "TraceRecord",
+    "substream_seed",
+]

@@ -1,0 +1,201 @@
+"""Core event scheduler.
+
+The scheduler is intentionally minimal: a binary heap of
+:class:`EventHandle` objects ordered by ``(time, seq)``, with lazy
+cancellation (cancelled handles stay in the heap and are skipped when
+popped). This is the hot path of every experiment, so handles use
+``__slots__`` and scheduling does no allocation beyond the handle itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler misuse (e.g. scheduling into the past)."""
+
+
+class EventHandle:
+    """A scheduled callback; compare by ``(time, seq)`` for heap order.
+
+    ``seq`` breaks ties so that events scheduled earlier at the same
+    timestamp fire first (deterministic FIFO ordering at equal times).
+    """
+
+    __slots__ = ("time", "seq", "fn", "arg", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], arg: Any):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.arg = arg
+        self.cancelled = False
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state} {self.fn!r}>"
+
+
+_SENTINEL = object()
+
+
+class Simulator:
+    """A discrete-event simulator clock + event heap.
+
+    Time is a float in **seconds**. All scheduling is relative to the
+    simulator's own clock; the simulator never observes wall-clock time.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.after(1.5, fired.append, "a")
+    >>> _ = sim.after(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    __slots__ = ("_heap", "_now", "_seq", "_pending", "_events_executed", "trace")
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._pending: int = 0  # live (non-cancelled) events in the heap
+        self._events_executed: int = 0
+        #: optional callable(time, handle) invoked before each event runs
+        self.trace: Optional[Callable[[float, EventHandle], None]] = None
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return self._pending
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    def peek(self) -> float:
+        """Time of the next live event, or ``inf`` if none remain."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else math.inf
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, fn: Callable[..., Any], arg: Any = _SENTINEL) -> EventHandle:
+        """Schedule ``fn`` (optionally with one argument) at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (now={self._now!r}, requested={time!r})"
+            )
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, arg)
+        # Heap entries are (time, seq, handle) tuples: comparisons run in
+        # C (floats/ints) instead of calling EventHandle.__lt__ ~1M times
+        # per million events (profile-guided; ~8% of a polling run).
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._pending += 1
+        return handle
+
+    def after(self, delay: float, fn: Callable[..., Any], arg: Any = _SENTINEL) -> EventHandle:
+        """Schedule ``fn`` after a relative ``delay`` (must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.at(self._now + delay, fn, arg)
+
+    def call_soon(self, fn: Callable[..., Any], arg: Any = _SENTINEL) -> EventHandle:
+        """Schedule ``fn`` at the current time (after already-queued events)."""
+        return self.at(self._now, fn, arg)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled handle (idempotent)."""
+        if not handle.cancelled:
+            handle.cancelled = True
+            self._pending -= 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next live event. Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)[2]
+            if handle.cancelled:
+                continue
+            self._pending -= 1
+            self._now = handle.time
+            self._events_executed += 1
+            if self.trace is not None:
+                self.trace(self._now, handle)
+            if handle.arg is _SENTINEL:
+                handle.fn()
+            else:
+                handle.fn(handle.arg)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap empties, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` at exit (even if the last event fired earlier), and
+        events scheduled at exactly ``until`` *do* execute.
+        """
+        heap = self._heap
+        budget = math.inf if max_events is None else max_events
+        limit = math.inf if until is None else until
+        executed = 0
+        while heap and executed < budget:
+            time, _seq, handle = heap[0]
+            if handle.cancelled:
+                heapq.heappop(heap)
+                continue
+            if time > limit:
+                break
+            heapq.heappop(heap)
+            self._pending -= 1
+            self._now = handle.time
+            self._events_executed += 1
+            executed += 1
+            if self.trace is not None:
+                self.trace(self._now, handle)
+            if handle.arg is _SENTINEL:
+                handle.fn()
+            else:
+                handle.fn(handle.arg)
+        if until is not None and self._now < until:
+            self._now = until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.6f} pending={self._pending}>"

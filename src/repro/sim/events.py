@@ -1,0 +1,140 @@
+"""One-shot waitable events (signals) and combinators.
+
+A :class:`Signal` is a one-shot event: it can be *succeeded* (with an
+optional value) or *failed* (with an exception) exactly once; callbacks
+registered before or after triggering are invoked exactly once each.
+Signals are what the process layer (:mod:`repro.sim.process`) suspends
+on, and what asynchronous substrates (network transports, resources)
+hand back to callers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+__all__ = ["Signal", "AllOf", "AnyOf"]
+
+
+class Signal:
+    """A one-shot waitable event.
+
+    Callbacks receive the signal itself; inspect :attr:`value` /
+    :attr:`exception` for the outcome. Triggering is immediate (same
+    event-loop turn) — use :meth:`succeed_later` to defer through the
+    simulator heap.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "exception", "name")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: Optional[list[Callable[["Signal"], None]]] = []
+        self.triggered = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True once the signal has succeeded (not failed)."""
+        return self.triggered and self.exception is None
+
+    def add_callback(self, fn: Callable[["Signal"], None]) -> None:
+        """Register ``fn``; runs immediately if already triggered."""
+        if self.triggered:
+            fn(self)
+        else:
+            assert self._callbacks is not None
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks = self._callbacks
+        self._callbacks = None
+        self.triggered = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def succeed(self, value: Any = None) -> "Signal":
+        """Trigger the signal successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"signal {self.name!r} already triggered")
+        self.value = value
+        self._fire()
+        return self
+
+    def fail(self, exception: BaseException) -> "Signal":
+        """Trigger the signal with an exception (propagated to waiters)."""
+        if self.triggered:
+            raise SimulationError(f"signal {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self.exception = exception
+        self._fire()
+        return self
+
+    def succeed_later(self, delay: float, value: Any = None) -> "Signal":
+        """Schedule success after ``delay`` simulated seconds."""
+        self.sim.after(delay, lambda: self.succeed(value))
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class AllOf(Signal):
+    """Succeeds when all child signals have triggered.
+
+    The value is the list of child values (in constructor order). Fails
+    fast with the first child exception.
+    """
+
+    __slots__ = ("_remaining", "_children")
+
+    def __init__(self, sim: Simulator, signals: Iterable[Signal], name: str = "all_of"):
+        super().__init__(sim, name)
+        self._children = list(signals)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Signal) -> None:
+        if self.triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Signal):
+    """Succeeds when the first child signal triggers.
+
+    The value is ``(index, value)`` of the first triggering child.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: Simulator, signals: Iterable[Signal], name: str = "any_of"):
+        super().__init__(sim, name)
+        self._children = list(signals)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one signal")
+        for index, child in enumerate(self._children):
+            child.add_callback(lambda c, i=index: self._on_child(i, c))
+
+    def _on_child(self, index: int, child: Signal) -> None:
+        if self.triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self.succeed((index, child.value))

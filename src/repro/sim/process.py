@@ -1,0 +1,101 @@
+"""Generator-based simulation processes.
+
+A process is a generator that yields *directives*:
+
+- a ``float``/``int`` — sleep for that many simulated seconds;
+- a :class:`~repro.sim.events.Signal` — suspend until it triggers; the
+  ``yield`` expression evaluates to the signal's value (or raises its
+  exception inside the generator);
+- another :class:`Process` — join it (a process *is* a signal that
+  succeeds with the generator's return value).
+
+Processes are convenient for tests, examples, and slow-path control
+logic (heartbeats, failure injection); the per-request hot paths in
+:mod:`repro.cluster` use plain callbacks instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Signal
+
+__all__ = ["Process"]
+
+
+class Process(Signal):
+    """Drives a generator through the simulator; succeeds on return.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def worker():
+    ...     yield 1.0
+    ...     return "done"
+    >>> p = Process(sim, worker())
+    >>> sim.run()
+    >>> (sim.now, p.value)
+    (1.0, 'done')
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any], name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator (did you forget to call the function?): {generator!r}"
+            )
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        sim.call_soon(self._resume, (None, None))
+
+    def interrupt(self, reason: BaseException | None = None) -> None:
+        """Throw an exception into the process at its current yield point."""
+        if self.triggered:
+            return
+        exc = reason if reason is not None else ProcessInterrupt("interrupted")
+        self.sim.call_soon(self._resume, (None, exc))
+
+    # ------------------------------------------------------------------
+    def _resume(self, send: tuple[Any, BaseException | None]) -> None:
+        if self.triggered:
+            return
+        value, exc = send
+        try:
+            if exc is not None:
+                directive = self._generator.throw(exc)
+            else:
+                directive = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            self.fail(error)
+            return
+        self._handle_directive(directive)
+
+    def _handle_directive(self, directive: Any) -> None:
+        if isinstance(directive, (int, float)):
+            if directive < 0:
+                self.sim.call_soon(
+                    self._resume, (None, ValueError(f"negative sleep: {directive!r}"))
+                )
+            else:
+                self.sim.after(directive, self._resume, (None, None))
+        elif isinstance(directive, Signal):
+            directive.add_callback(self._on_signal)
+        else:
+            self.sim.call_soon(
+                self._resume,
+                (None, TypeError(f"process yielded unsupported directive: {directive!r}")),
+            )
+
+    def _on_signal(self, signal: Signal) -> None:
+        # Defer through the heap so resumption order follows scheduling
+        # order even when the signal triggers synchronously.
+        self.sim.call_soon(self._resume, (signal.value, signal.exception))
+
+
+class ProcessInterrupt(Exception):
+    """Default exception delivered by :meth:`Process.interrupt`."""

@@ -1,0 +1,158 @@
+"""Counted resources and FIFO stores for the process layer.
+
+These mirror the classic DES primitives:
+
+- :class:`Resource` — ``capacity`` interchangeable units; ``acquire()``
+  returns a signal that succeeds when a unit is granted (FIFO).
+- :class:`Store` — an unbounded-or-bounded FIFO buffer of items with
+  blocking ``get``/``put``.
+
+The cluster substrate models its server thread pools directly (for
+speed), but these primitives are part of the public kernel API and are
+used by examples and tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Signal
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO grant order.
+
+    Example (process style)::
+
+        def user(sim, res):
+            yield res.acquire()
+            yield 1.0            # hold for 1s
+            res.release()
+    """
+
+    __slots__ = ("sim", "capacity", "in_use", "_waiters")
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Signal] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units not currently held."""
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquirers waiting for a unit."""
+        return len(self._waiters)
+
+    def acquire(self) -> Signal:
+        """Request one unit; the returned signal succeeds when granted."""
+        signal = Signal(self.sim, "resource.acquire")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            signal.succeed()
+        else:
+            self._waiters.append(signal)
+        return signal
+
+    def release(self) -> None:
+        """Return one unit, granting it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            # Hand the unit directly to the next waiter: in_use unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """A FIFO buffer with blocking ``get`` and (optionally) ``put``.
+
+    ``capacity=None`` means unbounded (puts never block).
+    """
+
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
+
+    def __init__(self, sim: Simulator, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self._putters: Deque[tuple[Signal, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        return len(self._getters)
+
+    @property
+    def putters_waiting(self) -> int:
+        return len(self._putters)
+
+    def put(self, item: Any) -> Signal:
+        """Insert ``item``; the returned signal succeeds once stored."""
+        signal = Signal(self.sim, "store.put")
+        if self._getters:
+            # Hand straight to the oldest getter.
+            self._getters.popleft().succeed(item)
+            signal.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            signal.succeed()
+        else:
+            self._putters.append((signal, item))
+        return signal
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
+    def get(self) -> Signal:
+        """Remove the oldest item; the signal succeeds with the item."""
+        signal = Signal(self.sim, "store.get")
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_signal, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_signal.succeed()
+            signal.succeed(item)
+        elif self._putters:
+            # Zero-capacity style handoff (only when capacity forces it).
+            put_signal, pending = self._putters.popleft()
+            put_signal.succeed()
+            signal.succeed(pending)
+        else:
+            self._getters.append(signal)
+        return signal
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(found, item)``."""
+        if not self._items:
+            return (False, None)
+        item = self._items.popleft()
+        if self._putters:
+            put_signal, pending = self._putters.popleft()
+            self._items.append(pending)
+            put_signal.succeed()
+        return (True, item)

@@ -1,0 +1,137 @@
+"""Structured event tracing for debugging and validation.
+
+Attach an :class:`EventTrace` to a simulator to capture a bounded,
+filtered record of executed events — what fired, when, and how densely.
+Used by tests to assert temporal behaviour and by humans to debug
+policies ("why did every client dispatch to server 3 at t=1.20?").
+
+The tracer costs one indirect call per event while attached; detach it
+(or never attach it) for measurement runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import EventHandle, Simulator
+
+__all__ = ["EventTrace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed event."""
+
+    time: float
+    seq: int
+    label: str
+
+    def __str__(self) -> str:
+        return f"{self.time:12.6f}s  #{self.seq:<8d} {self.label}"
+
+
+def _default_label(handle: EventHandle) -> str:
+    fn = handle.fn
+    name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", repr(fn))
+    return name
+
+
+class EventTrace:
+    """A bounded in-memory trace of executed simulator events.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to attach to (uses the ``Simulator.trace`` hook).
+    capacity:
+        Ring-buffer size; the most recent ``capacity`` records are kept.
+    filter_fn:
+        Optional predicate over :class:`EventHandle`; only matching
+        events are recorded.
+    label_fn:
+        Optional custom label extractor.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 10_000,
+        filter_fn: Optional[Callable[[EventHandle], bool]] = None,
+        label_fn: Optional[Callable[[EventHandle], str]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.filter_fn = filter_fn
+        self.label_fn = label_fn or _default_label
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+        self._attached = False
+        self._previous_hook: Optional[Callable] = None
+        self.attach()
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._previous_hook = self.sim.trace
+        self.sim.trace = self._on_event
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.sim.trace = self._previous_hook
+        self._previous_hook = None
+        self._attached = False
+
+    def _on_event(self, time: float, handle: EventHandle) -> None:
+        if self._previous_hook is not None:
+            self._previous_hook(time, handle)
+        if self.filter_fn is not None and not self.filter_fn(handle):
+            return
+        if len(self._records) >= self.capacity:
+            self._records.pop(0)
+            self._dropped += 1
+        self._records.append(TraceRecord(time, handle.seq, self.label_fn(handle)))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring buffer."""
+        return self._dropped
+
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def labels(self) -> list[str]:
+        return [record.label for record in self._records]
+
+    def times(self) -> np.ndarray:
+        return np.array([record.time for record in self._records])
+
+    def between(self, t0: float, t1: float) -> list[TraceRecord]:
+        """Records with ``t0 <= time < t1``."""
+        return [r for r in self._records if t0 <= r.time < t1]
+
+    def rate(self, window: float) -> float:
+        """Mean events/second over the last ``window`` simulated seconds."""
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        cutoff = self.sim.now - window
+        recent = sum(1 for r in self._records if r.time >= cutoff)
+        return recent / window
+
+    def dump(self, limit: int = 50) -> str:
+        """The last ``limit`` records, one per line."""
+        lines = [str(record) for record in self._records[-limit:]]
+        if self._dropped:
+            lines.insert(0, f"... ({self._dropped} earlier records dropped)")
+        return "\n".join(lines)

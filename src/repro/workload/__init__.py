@@ -1,0 +1,90 @@
+"""Workload generation: distributions, arrival processes, traces.
+
+The paper evaluates three workloads (§1.1):
+
+- **Poisson/Exp** — Poisson arrivals, exponential service times (mean
+  50 ms in the multi-server experiments);
+- **Fine-Grain trace** — a Teoma search-engine internal service
+  (query-word translation), mean service time 22.2 ms, near-deterministic;
+- **Medium-Grain trace** — a second Teoma service (page-description
+  translation), mean service time 28.9 ms with heavy-tailed variability.
+
+The real traces are proprietary; :mod:`~repro.workload.synthesis`
+generates synthetic traces fitted to the published Table 1 moments (see
+DESIGN.md §5 for the OCR-disambiguation of those numbers).
+"""
+
+from repro.workload.distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    Gamma,
+    Lognormal,
+    Pareto,
+    Uniform,
+    Weibull,
+    lognormal_from_moments,
+    pareto_from_moments,
+    weibull_from_moments,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MarkovModulatedPoisson,
+    PoissonProcess,
+    RenewalProcess,
+)
+from repro.workload.empirical import (
+    EmpiricalDistribution,
+    empirical_workload_from_trace,
+)
+from repro.workload.traces import Trace, TraceStats, load_trace, save_trace
+from repro.workload.synthesis import (
+    FINE_GRAIN_SPEC,
+    MEDIUM_GRAIN_SPEC,
+    TraceSpec,
+    synthesize_trace,
+)
+from repro.workload.weekly import (
+    DiurnalProfile,
+    extract_peak_portion,
+    synthesize_weekly_trace,
+)
+from repro.workload.workloads import (
+    Workload,
+    available_workloads,
+    make_workload,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "Deterministic",
+    "Distribution",
+    "DiurnalProfile",
+    "EmpiricalDistribution",
+    "empirical_workload_from_trace",
+    "Exponential",
+    "FINE_GRAIN_SPEC",
+    "Gamma",
+    "Lognormal",
+    "MarkovModulatedPoisson",
+    "MEDIUM_GRAIN_SPEC",
+    "Pareto",
+    "PoissonProcess",
+    "RenewalProcess",
+    "Trace",
+    "TraceSpec",
+    "TraceStats",
+    "Uniform",
+    "Weibull",
+    "Workload",
+    "available_workloads",
+    "extract_peak_portion",
+    "synthesize_weekly_trace",
+    "load_trace",
+    "lognormal_from_moments",
+    "make_workload",
+    "pareto_from_moments",
+    "save_trace",
+    "synthesize_trace",
+    "weibull_from_moments",
+]

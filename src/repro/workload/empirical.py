@@ -1,0 +1,99 @@
+"""Empirical distributions: sample from observed data.
+
+When a real trace *is* available (e.g. one produced by
+:func:`repro.workload.traces.save_trace`, or measurements from a live
+system), experiments should be able to resample it rather than fit a
+parametric family. :class:`EmpiricalDistribution` supports plain
+bootstrap resampling and smoothed inverse-CDF sampling (linear
+interpolation between order statistics), and plugs in anywhere a
+:class:`~repro.workload.distributions.Distribution` is accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.distributions import Distribution
+from repro.workload.traces import Trace
+
+__all__ = ["EmpiricalDistribution", "empirical_workload_from_trace"]
+
+
+class EmpiricalDistribution(Distribution):
+    """A distribution backed by observed samples.
+
+    Parameters
+    ----------
+    data:
+        Observed positive values.
+    smoothed:
+        False (default): classic bootstrap — draws are exactly observed
+        values. True: inverse-CDF sampling with linear interpolation
+        between sorted observations, which fills the gaps between
+        distinct observed values (useful for small samples).
+    """
+
+    __slots__ = ("_sorted", "_mean", "_std", "smoothed")
+
+    def __init__(self, data: np.ndarray, smoothed: bool = False):
+        values = np.asarray(data, dtype=np.float64).ravel()
+        if values.size < 2:
+            raise ValueError(f"need at least 2 observations, got {values.size}")
+        if (values <= 0).any():
+            raise ValueError("observations must be positive")
+        self._sorted = np.sort(values)
+        self._mean = float(values.mean())
+        self._std = float(values.std(ddof=1))
+        self.smoothed = smoothed
+
+    @property
+    def n_observations(self) -> int:
+        return int(self._sorted.size)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        scalar = size is None
+        n = 1 if scalar else int(size)
+        if self.smoothed:
+            u = rng.random(n) * (self._sorted.size - 1)
+            lo = np.floor(u).astype(np.intp)
+            frac = u - lo
+            hi = np.minimum(lo + 1, self._sorted.size - 1)
+            out = self._sorted[lo] * (1.0 - frac) + self._sorted[hi] * frac
+        else:
+            out = self._sorted[rng.integers(self._sorted.size, size=n)]
+        return float(out[0]) if scalar else out
+
+    def mean(self) -> float:
+        return self._mean
+
+    def std(self) -> float:
+        return self._std
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the observed data."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self._sorted, q))
+
+    def __repr__(self) -> str:
+        kind = "smoothed" if self.smoothed else "bootstrap"
+        return f"EmpiricalDistribution(n={self.n_observations}, {kind})"
+
+
+def empirical_workload_from_trace(trace: Trace, smoothed: bool = False):
+    """Build a :class:`~repro.workload.workloads.Workload` that
+    bootstrap-resamples a recorded trace's gaps and service times.
+
+    Unlike replaying the trace verbatim, resampling generates arbitrary
+    request counts and fresh randomness per seed while preserving the
+    marginal distributions (temporal correlations are deliberately
+    broken — use the trace itself when they matter).
+    """
+    from repro.workload.arrivals import RenewalProcess
+    from repro.workload.workloads import Workload
+
+    return Workload(
+        name=f"{trace.name} (resampled)",
+        arrivals=RenewalProcess(EmpiricalDistribution(trace.interarrival, smoothed)),
+        service=EmpiricalDistribution(trace.service, smoothed),
+    )

@@ -1,0 +1,188 @@
+"""Tests for the application-level service framework."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ApplicationCluster, ServiceSpec, call, compute
+from repro.net import PAPER_NET
+from repro.sim.engine import SimulationError
+
+
+def simple_handler(service_time=0.005):
+    def handler(ctx, request):
+        yield compute(service_time)
+        return ("ok", request.payload)
+
+    return handler
+
+
+def make_app(n_nodes=4, poll_size=2, workers=1, seed=5, replication=4,
+             handler=None):
+    app = ApplicationCluster(n_nodes=n_nodes, seed=seed, workers=workers,
+                             poll_size=poll_size)
+    app.place_service(
+        ServiceSpec("svc", n_partitions=1, replication=replication),
+        node_ids=list(range(n_nodes)),
+        handler=handler or simple_handler(),
+    )
+    return app
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ApplicationCluster(n_nodes=0)
+    with pytest.raises(ValueError):
+        ApplicationCluster(n_nodes=2, poll_size=-1)
+    with pytest.raises(ValueError):
+        ApplicationCluster(n_nodes=2, workers=0)
+
+
+def test_place_service_validation():
+    app = ApplicationCluster(n_nodes=2)
+    with pytest.raises(ValueError):
+        app.place_service(ServiceSpec("s"), [5], simple_handler())
+    with pytest.raises(KeyError):
+        app.handler_for("ghost")
+
+
+def test_single_access_roundtrip():
+    app = make_app()
+    results = []
+    signal = app.async_call(app.client_ids[0], "svc", 0, payload=7)
+    signal.add_callback(lambda s: results.append(s.value))
+    app.sim.run()
+    assert results == [("ok", 7)]
+    # Response time = polls + request RTT + service.
+    recorded = app.response_times["svc"].values()
+    expected = PAPER_NET.udp_rtt + PAPER_NET.request_response_total + 0.005
+    assert recorded[0] == pytest.approx(expected)
+
+
+def test_random_selection_mode():
+    app = make_app(poll_size=0)
+    signal = app.async_call(app.client_ids[0], "svc", 0, None)
+    app.sim.run()
+    assert signal.ok
+    # No polls sent in random mode.
+    from repro.net import MessageKind
+
+    assert MessageKind.POLL not in app.network.message_counts
+
+
+def test_workload_completes_and_balances():
+    app = make_app(n_nodes=4, poll_size=2)
+    rng = np.random.default_rng(0)
+    gaps = rng.exponential(0.005 / (4 * 0.7), 2000)
+    tally = app.run_workload("svc", gaps)
+    assert len(tally) == 2000
+    completed = [node.completed for node in app.nodes]
+    assert sum(completed) == 2000
+    assert min(completed) > 2000 / 4 * 0.6  # reasonably even
+
+
+def test_handler_exception_surfaces():
+    def broken(ctx, request):
+        yield compute(0.001)
+        raise RuntimeError("handler bug")
+
+    app = make_app(handler=broken)
+    app.async_call(app.client_ids[0], "svc", 0, None)
+    with pytest.raises(SimulationError):
+        app.sim.run()
+
+
+def test_bad_directive_rejected():
+    def bad(ctx, request):
+        yield "garbage"
+
+    app = make_app(handler=bad)
+    app.async_call(app.client_ids[0], "svc", 0, None)
+    with pytest.raises(SimulationError):
+        app.sim.run()
+
+
+def test_worker_pool_queues_excess():
+    app = make_app(n_nodes=1, workers=1, replication=1,
+                   handler=simple_handler(0.01))
+    for _ in range(3):
+        app.async_call(app.client_ids[0], "svc", 0, None)
+    app.sim.run()
+    tally = app.response_times["svc"].values()
+    # FIFO on one worker: ~0.01, ~0.02, ~0.03 (+network).
+    assert tally[1] - tally[0] == pytest.approx(0.01, abs=1e-4)
+    assert tally[2] - tally[1] == pytest.approx(0.01, abs=1e-4)
+
+
+def test_multiple_workers_run_in_parallel():
+    app = make_app(n_nodes=1, workers=3, replication=1,
+                   handler=simple_handler(0.01))
+    for _ in range(3):
+        app.async_call(app.client_ids[0], "svc", 0, None)
+    app.sim.run()
+    tally = app.response_times["svc"].values()
+    assert np.allclose(tally, tally[0])
+
+
+def test_nested_aggregation_two_tiers():
+    """A front service calling a partitioned backend (Figure 1 shape)."""
+    app = ApplicationCluster(n_nodes=6, seed=9, workers=2, poll_size=2)
+
+    def backend(ctx, request):
+        yield compute(0.004)
+        return request.payload * 2
+
+    def front(ctx, request):
+        yield compute(0.002)
+        doubled = yield call("backend", partition=request.payload % 2,
+                             payload=request.payload)
+        yield compute(0.001)
+        return doubled + 1
+
+    app.place_service(ServiceSpec("backend", n_partitions=2, replication=2),
+                      node_ids=[0, 1, 2, 3], handler=backend)
+    app.place_service(ServiceSpec("front", n_partitions=1, replication=2),
+                      node_ids=[4, 5], handler=front)
+    results = []
+    for value in (10, 11):
+        signal = app.async_call(app.client_ids[0], "front", 0, value)
+        signal.add_callback(lambda s: results.append(s.value))
+    app.sim.run()
+    assert sorted(results) == [21, 23]
+    # Both tiers recorded response times; front includes the nested call.
+    assert app.response_times["front"].mean() > app.response_times["backend"].mean()
+    # Nested time >= front compute + backend response.
+    assert app.response_times["front"].values().min() >= (
+        0.003 + app.response_times["backend"].values().min()
+    )
+
+
+def test_nested_call_holds_worker():
+    """Thread-pool semantics: a worker blocked on a nested call is not
+    available, so a second front request queues behind it."""
+    app = ApplicationCluster(n_nodes=2, seed=1, workers=1, poll_size=0)
+
+    def backend(ctx, request):
+        yield compute(0.02)
+        return None
+
+    def front(ctx, request):
+        yield call("backend")
+        return None
+
+    app.place_service(ServiceSpec("backend"), node_ids=[0], handler=backend)
+    app.place_service(ServiceSpec("front"), node_ids=[1], handler=front)
+    for _ in range(2):
+        app.async_call(app.client_ids[0], "front", 0, None)
+    app.sim.run()
+    tally = app.response_times["front"].values()
+    # Serialized: second front access waits ~0.02s behind the first.
+    assert tally[1] - tally[0] > 0.015
+
+
+def test_workload_deterministic():
+    def run():
+        app = make_app(seed=77)
+        gaps = np.full(500, 0.002)
+        return app.run_workload("svc", gaps).values().copy()
+
+    assert np.array_equal(run(), run())

@@ -1,0 +1,134 @@
+"""Unit tests for the publish/subscribe availability subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import AvailabilityChannel, ServiceMappingTable, ServicePublisher
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+
+
+def make_channel(latency=1e-4):
+    sim = Simulator()
+    net = Network(sim, np.random.default_rng(0), ConstantLatency(latency))
+    return sim, AvailabilityChannel(net)
+
+
+def make_publisher(sim, channel, node_id=0, mean_interval=1.0):
+    return ServicePublisher(
+        sim,
+        channel,
+        node_id,
+        entries=[("svc", 0)],
+        mean_interval=mean_interval,
+        rng=np.random.default_rng(node_id + 1),
+    )
+
+
+def test_publisher_validation():
+    sim, channel = make_channel()
+    with pytest.raises(ValueError):
+        ServicePublisher(sim, channel, 0, [("s", 0)], 0.0, np.random.default_rng(0))
+
+
+def test_table_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ServiceMappingTable(sim, ttl=0.0)
+
+
+def test_publish_reaches_table():
+    sim, channel = make_channel()
+    table = ServiceMappingTable(sim, ttl=3.0)
+    table.subscribe(channel, client_id=100)
+    publisher = make_publisher(sim, channel)
+    publisher.start()
+    sim.run(until=0.01)
+    assert table.available("svc", 0) == [0]
+    assert table.updates_received >= 1
+
+
+def test_refresh_interval_randomized_within_bounds():
+    sim, channel = make_channel()
+    deliveries = []
+    channel.subscribe(100, lambda m: deliveries.append(sim.now))
+    publisher = make_publisher(sim, channel, mean_interval=1.0)
+    publisher.start()
+    sim.run(until=20.0)
+    gaps = np.diff(deliveries)
+    assert (gaps >= 0.5 - 1e-9).all() and (gaps <= 1.5 + 1e-9).all()
+    assert gaps.mean() == pytest.approx(1.0, rel=0.2)
+
+
+def test_soft_state_expires_after_crash():
+    sim, channel = make_channel()
+    table = ServiceMappingTable(sim, ttl=2.0)
+    table.subscribe(channel, 100)
+    publisher = make_publisher(sim, channel, mean_interval=0.5)
+    publisher.start()
+    sim.run(until=5.0)
+    assert table.available("svc", 0) == [0]
+    publisher.stop()
+    sim.run(until=5.0 + 2.5)  # past the TTL with no refreshes
+    assert table.available("svc", 0) == []
+
+
+def test_recovery_after_restart():
+    sim, channel = make_channel()
+    table = ServiceMappingTable(sim, ttl=1.0)
+    table.subscribe(channel, 100)
+    publisher = make_publisher(sim, channel, mean_interval=0.3)
+    publisher.start()
+    sim.run(until=1.0)
+    publisher.stop()
+    sim.run(until=3.0)
+    assert table.available("svc", 0) == []
+    publisher.start()
+    sim.run(until=3.1)
+    assert table.available("svc", 0) == [0]
+
+
+def test_multiple_publishers_merge():
+    sim, channel = make_channel()
+    table = ServiceMappingTable(sim, ttl=5.0)
+    table.subscribe(channel, 100)
+    for node in (3, 1, 2):
+        make_publisher(sim, channel, node_id=node, mean_interval=0.5).start()
+    sim.run(until=1.0)
+    assert table.available("svc", 0) == [1, 2, 3]
+
+
+def test_forget_evicts_node():
+    sim, channel = make_channel()
+    table = ServiceMappingTable(sim, ttl=10.0)
+    table.subscribe(channel, 100)
+    make_publisher(sim, channel, node_id=7).start()
+    sim.run(until=0.5)
+    table.forget(7)
+    assert table.available("svc", 0) == []
+
+
+def test_unknown_service_empty():
+    sim = Simulator()
+    table = ServiceMappingTable(sim, ttl=1.0)
+    assert table.available("nope", 0) == []
+
+
+def test_start_is_idempotent():
+    sim, channel = make_channel()
+    deliveries = []
+    channel.subscribe(100, lambda m: deliveries.append(sim.now))
+    publisher = make_publisher(sim, channel, mean_interval=10.0)
+    publisher.start()
+    publisher.start()
+    sim.run(until=1.0)
+    assert len(deliveries) == 1  # not doubled
+
+
+def test_known_services():
+    sim, channel = make_channel()
+    table = ServiceMappingTable(sim, ttl=1.0)
+    table.subscribe(channel, 100)
+    make_publisher(sim, channel, node_id=0).start()
+    sim.run(until=0.1)
+    assert table.known_services() == ["svc"]

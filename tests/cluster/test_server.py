@@ -1,0 +1,149 @@
+"""Unit tests for ServerNode."""
+
+import pytest
+
+from repro.cluster import Request, ServerNode
+from repro.sim import Simulator
+
+
+def make_server(**kwargs):
+    sim = Simulator()
+    server = ServerNode(sim, node_id=0, **kwargs)
+    completed = []
+    server.on_complete = lambda s, r: completed.append((sim.now, r))
+    return sim, server, completed
+
+
+def req(index, service, arrival=0.0):
+    return Request(index=index, client_id=100, service_time=service, arrival_time=arrival)
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ServerNode(sim, 0, workers=0)
+    with pytest.raises(ValueError):
+        ServerNode(sim, 0, speed=0.0)
+
+
+def test_single_job_lifecycle():
+    sim, server, completed = make_server()
+    request = req(0, 2.0)
+    server.enqueue(request)
+    assert server.queue_length == 1
+    assert server.busy
+    sim.run()
+    assert completed == [(2.0, request)]
+    assert request.start_time == 0.0
+    assert request.completion_time == 2.0
+    assert server.queue_length == 0
+    assert server.completed_count == 1
+
+
+def test_fifo_order():
+    sim, server, completed = make_server()
+    first, second, third = req(0, 1.0), req(1, 1.0), req(2, 1.0)
+    for request in (first, second, third):
+        server.enqueue(request)
+    assert server.queue_length == 3
+    sim.run()
+    assert [r for _, r in completed] == [first, second, third]
+    assert [t for t, _ in completed] == [1.0, 2.0, 3.0]
+
+
+def test_queue_wait_measured():
+    sim, server, _ = make_server()
+    first, second = req(0, 2.0), req(1, 1.0)
+    server.enqueue(first)
+    server.enqueue(second)
+    sim.run()
+    assert first.queue_wait == 0.0
+    assert second.queue_wait == 2.0
+
+
+def test_multiple_workers_parallel_service():
+    sim, server, completed = make_server(workers=2)
+    server.enqueue(req(0, 2.0))
+    server.enqueue(req(1, 2.0))
+    server.enqueue(req(2, 2.0))
+    sim.run()
+    times = [t for t, _ in completed]
+    assert times == [2.0, 2.0, 4.0]
+
+
+def test_speed_scales_service():
+    sim, server, completed = make_server(speed=2.0)
+    server.enqueue(req(0, 3.0))
+    sim.run()
+    assert completed[0][0] == pytest.approx(1.5)
+
+
+def test_queue_length_counts_in_service():
+    sim, server, _ = make_server()
+    server.enqueue(req(0, 5.0))
+    server.enqueue(req(1, 5.0))
+    assert server.queue_length == 2  # one in service + one waiting
+
+
+def test_steal_cpu_postpones_completion():
+    sim, server, completed = make_server()
+    server.enqueue(req(0, 2.0))
+    sim.after(0.5, lambda: server.steal_cpu(0.3))
+    sim.run()
+    assert completed[0][0] == pytest.approx(2.3)
+    assert server.stolen_cpu_total == pytest.approx(0.3)
+
+
+def test_steal_cpu_idle_noop():
+    sim, server, _ = make_server()
+    server.steal_cpu(1.0)
+    assert server.stolen_cpu_total == 0.0
+
+
+def test_steal_cpu_negative_rejected():
+    sim, server, _ = make_server()
+    with pytest.raises(ValueError):
+        server.steal_cpu(-1.0)
+
+
+def test_steal_cpu_affects_all_in_service():
+    sim, server, completed = make_server(workers=2)
+    server.enqueue(req(0, 2.0))
+    server.enqueue(req(1, 3.0))
+    sim.after(1.0, lambda: server.steal_cpu(0.5))
+    sim.run()
+    assert sorted(t for t, _ in completed) == [pytest.approx(2.5), pytest.approx(3.5)]
+
+
+def test_drain_cancels_everything():
+    sim, server, completed = make_server()
+    first, second = req(0, 2.0), req(1, 2.0)
+    server.enqueue(first)
+    server.enqueue(second)
+    dropped = server.drain()
+    assert dropped == [first, second]
+    assert server.queue_length == 0
+    sim.run()
+    assert completed == []
+
+
+def test_queue_recorder_tracks_step_function():
+    sim = Simulator()
+    server = ServerNode(sim, 0, record_queue=True)
+    server.on_complete = lambda s, r: None
+    server.enqueue(req(0, 1.0))
+    server.enqueue(req(1, 1.0))
+    sim.run()
+    times, values = server.queue_recorder.breakpoints()
+    assert times.tolist() == [0.0, 0.0, 1.0, 2.0]
+    assert values.tolist() == [1.0, 2.0, 1.0, 0.0]
+
+
+def test_work_conservation_busy_until_done():
+    """Server never idles while work is queued."""
+    sim, server, completed = make_server()
+    for i in range(5):
+        server.enqueue(req(i, 1.0))
+    sim.run()
+    # Back-to-back completions with no gaps.
+    assert [t for t, _ in completed] == [1.0, 2.0, 3.0, 4.0, 5.0]

@@ -1,0 +1,143 @@
+"""Unit/integration tests for ServiceCluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ServiceCluster
+from repro.core import IdealOracle, RandomPolicy, make_policy
+from repro.net import MessageKind, PAPER_NET
+from repro.sim.engine import SimulationError
+
+
+def build(policy=None, n_servers=4, n_requests=200, load=0.5, seed=3, **kwargs):
+    cluster = ServiceCluster(
+        n_servers=n_servers, policy=policy or RandomPolicy(), seed=seed, **kwargs
+    )
+    rng = np.random.default_rng(seed)
+    mean_service = 0.01
+    gaps = rng.exponential(mean_service / (n_servers * load), n_requests)
+    services = rng.exponential(mean_service, n_requests)
+    cluster.load_workload(gaps, services)
+    return cluster
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ServiceCluster(n_servers=0, policy=RandomPolicy())
+    with pytest.raises(ValueError):
+        ServiceCluster(n_servers=2, policy=RandomPolicy(), n_clients=0)
+    with pytest.raises(ValueError):
+        ServiceCluster(n_servers=2, policy=RandomPolicy(), server_speeds=[1.0])
+
+
+def test_run_without_workload_raises():
+    cluster = ServiceCluster(n_servers=2, policy=RandomPolicy())
+    with pytest.raises(SimulationError):
+        cluster.run()
+
+
+def test_load_workload_validation():
+    cluster = ServiceCluster(n_servers=2, policy=RandomPolicy())
+    with pytest.raises(ValueError):
+        cluster.load_workload(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        cluster.load_workload(np.array([]), np.array([]))
+
+
+def test_all_requests_complete():
+    cluster = build(n_requests=500)
+    metrics = cluster.run()
+    assert np.isfinite(metrics.response_time).all()
+    assert (metrics.server_id >= 0).all()
+    assert metrics.failed.sum() == 0
+
+
+def test_response_time_includes_network_and_service():
+    """response >= request RTT + service time for every request."""
+    cluster = build(n_requests=300)
+    metrics = cluster.run()
+    service = cluster._service_times
+    floor = service + PAPER_NET.request_response_total - 1e-12
+    assert (metrics.response_time >= floor).all()
+
+
+def test_conservation_per_server_counts():
+    cluster = build(n_requests=400)
+    metrics = cluster.run()
+    counts = metrics.server_counts(cluster.n_servers, warmup_fraction=0.0)
+    assert counts.sum() == 400
+
+
+def test_instant_policy_has_zero_poll_time():
+    cluster = build(policy=IdealOracle(), n_requests=200)
+    metrics = cluster.run()
+    assert np.allclose(metrics.poll_time, 0.0)
+
+
+def test_polling_policy_poll_time_at_least_one_udp_rtt():
+    cluster = build(policy=make_policy("polling", poll_size=2), n_requests=200)
+    metrics = cluster.run()
+    assert (metrics.poll_time >= PAPER_NET.udp_rtt - 1e-12).all()
+
+
+def test_deterministic_across_runs():
+    a = build(policy=make_policy("polling", poll_size=2), seed=9, n_requests=300).run()
+    b = build(policy=make_policy("polling", poll_size=2), seed=9, n_requests=300).run()
+    assert np.array_equal(a.response_time, b.response_time)
+    assert np.array_equal(a.server_id, b.server_id)
+
+
+def test_different_seeds_differ():
+    a = build(seed=1, n_requests=300).run()
+    b = build(seed=2, n_requests=300).run()
+    assert not np.array_equal(a.response_time, b.response_time)
+
+
+def test_message_accounting_request_response():
+    cluster = build(n_requests=100)
+    cluster.run()
+    counts = cluster.network.message_counts
+    assert counts[MessageKind.REQUEST] == 100
+    assert counts[MessageKind.RESPONSE] == 100
+
+
+def test_requests_assigned_round_robin_to_clients():
+    cluster = build(n_requests=100, n_clients=4)
+    metrics = cluster.run()
+    del metrics
+    # client node ids start after server ids
+    assert len(cluster.clients) == 4
+
+
+def test_metrics_summary_fields():
+    cluster = build(n_requests=300)
+    metrics = cluster.run()
+    summary = metrics.summary(warmup_fraction=0.1)
+    assert summary["n_measured"] == 270
+    assert summary["mean_response_time"] > 0
+    assert summary["p99_response_time"] >= summary["p50_response_time"]
+    with pytest.raises(ValueError):
+        metrics.summary(warmup_fraction=1.0)
+
+
+def test_ideal_beats_random_under_load():
+    random_metrics = build(policy=RandomPolicy(), n_requests=3000, load=0.9, seed=5).run()
+    ideal_metrics = build(policy=IdealOracle(), n_requests=3000, load=0.9, seed=5).run()
+    assert (
+        np.nanmean(ideal_metrics.response_time)
+        < 0.7 * np.nanmean(random_metrics.response_time)
+    )
+
+
+def test_availability_mode_provides_candidates():
+    cluster = build(availability=True, n_requests=200)
+    metrics = cluster.run()
+    assert metrics.failed.sum() == 0
+    client = cluster.clients[0]
+    assert cluster.available_servers(client) == list(range(cluster.n_servers))
+
+
+def test_server_speeds_respected():
+    cluster = build(server_speeds=[2.0, 1.0, 1.0, 1.0], n_requests=100)
+    assert cluster.servers[0].speed == 2.0
+    cluster.run()

@@ -1,0 +1,53 @@
+"""Unit tests for the LoadBalancer base and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ServiceCluster
+from repro.core import LoadBalancer, RandomPolicy, choose_min_with_ties
+from repro.core.base import NoCandidatesError
+
+
+def test_choose_min_single():
+    rng = np.random.default_rng(0)
+    assert choose_min_with_ties([5], [2.0], rng) == 5
+
+
+def test_choose_min_unique_minimum():
+    rng = np.random.default_rng(0)
+    assert choose_min_with_ties([1, 2, 3], [5.0, 1.0, 9.0], rng) == 2
+
+
+def test_choose_min_ties_random_uniform():
+    rng = np.random.default_rng(0)
+    picks = [choose_min_with_ties([1, 2, 3], [0.0, 0.0, 1.0], rng) for _ in range(2000)]
+    ones = picks.count(1)
+    assert picks.count(3) == 0
+    assert 800 < ones < 1200  # roughly uniform over the two ties
+
+
+def test_choose_min_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(NoCandidatesError):
+        choose_min_with_ties([], [], rng)
+    with pytest.raises(ValueError):
+        choose_min_with_ties([1, 2], [1.0], rng)
+
+
+def test_double_bind_rejected():
+    policy = RandomPolicy()
+    ServiceCluster(n_servers=2, policy=policy)
+    with pytest.raises(RuntimeError):
+        ServiceCluster(n_servers=2, policy=policy)
+
+
+def test_describe_default():
+    assert RandomPolicy().describe() == "random"
+
+
+def test_abstract_select_required():
+    class Incomplete(LoadBalancer):
+        name = "incomplete"
+
+    with pytest.raises(TypeError):
+        Incomplete()

@@ -1,0 +1,56 @@
+"""Tests for the Join-Idle-Queue extension policy."""
+
+import numpy as np
+
+from repro.core import make_policy
+from repro.net import MessageKind
+from tests.core.conftest import build_cluster
+
+
+def test_idle_reports_flow_and_counters_consistent():
+    policy = make_policy("jiq")
+    cluster = build_cluster(policy, n_requests=2000, load=0.6)
+    cluster.run()
+    assert policy.idle_reports_sent > 0
+    assert policy.idle_hits + policy.random_fallbacks == 2000
+    assert cluster.network.message_counts[MessageKind.OTHER] == policy.idle_reports_sent
+
+
+def test_jiq_mostly_idle_hits_at_low_load():
+    policy = make_policy("jiq")
+    cluster = build_cluster(policy, n_requests=3000, load=0.2)
+    cluster.run()
+    assert policy.idle_hits > 0.7 * 3000
+
+
+def test_jiq_beats_random_at_moderate_load():
+    jiq_metrics = build_cluster(make_policy("jiq"), n_requests=6000, load=0.8,
+                                seed=53).run()
+    random_metrics = build_cluster(make_policy("random"), n_requests=6000, load=0.8,
+                                   seed=53).run()
+    assert np.nanmean(jiq_metrics.response_time) < 0.8 * np.nanmean(
+        random_metrics.response_time
+    )
+
+
+def test_jiq_cheap_messaging():
+    """At most one control message per request (vs 2d for polling)."""
+    policy = make_policy("jiq")
+    cluster = build_cluster(policy, n_requests=2000, load=0.7)
+    cluster.run()
+    assert policy.idle_reports_sent <= 2000 + cluster.n_servers
+
+
+def test_jiq_dispatches_every_request():
+    policy = make_policy("jiq")
+    cluster = build_cluster(policy, n_requests=1500, load=0.9)
+    metrics = cluster.run()
+    assert np.isfinite(metrics.response_time).all()
+
+
+def test_jiq_high_load_falls_back_to_random():
+    """With few idle moments, the fallback path dominates but works."""
+    policy = make_policy("jiq")
+    cluster = build_cluster(policy, n_requests=3000, load=0.95)
+    cluster.run()
+    assert policy.random_fallbacks > 0.2 * 3000

@@ -1,0 +1,176 @@
+"""Tests for the random polling policy (basic + discard-slow-polls)."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.net import MessageKind, PAPER_NET
+from repro.prototype import PollDelayModel, PrototypeOverheadModel
+from tests.core.conftest import build_cluster
+
+
+def test_poll_size_validation():
+    with pytest.raises(ValueError):
+        make_policy("polling", poll_size=0)
+
+
+def test_polls_sent_equals_d_per_request():
+    policy = make_policy("polling", poll_size=3)
+    cluster = build_cluster(policy, n_requests=500, load=0.5)
+    cluster.run()
+    assert policy.polls_sent == 3 * 500
+    assert cluster.network.message_counts[MessageKind.POLL] == 1500
+    assert cluster.network.message_counts[MessageKind.POLL_REPLY] == 1500
+
+
+def test_poll_size_capped_at_candidate_count():
+    policy = make_policy("polling", poll_size=50)
+    cluster = build_cluster(policy, n_servers=4, n_requests=300, load=0.5)
+    cluster.run()
+    assert policy.polls_sent == 4 * 300
+
+
+def test_basic_mode_waits_for_all_replies():
+    """Simulation model: poll time is exactly one UDP RTT (all replies
+    arrive together since latency is constant)."""
+    policy = make_policy("polling", poll_size=4)
+    cluster = build_cluster(policy, n_requests=300, load=0.5)
+    metrics = cluster.run()
+    assert np.allclose(metrics.poll_time, PAPER_NET.udp_rtt)
+
+
+def test_polling_targets_are_distinct():
+    """No server is polled twice for the same request."""
+    policy = make_policy("polling", poll_size=3)
+    cluster = build_cluster(policy, n_requests=400, load=0.5)
+    per_request_targets = []
+    original = cluster.poll_server
+
+    def tapped(client, server_id, on_reply):
+        per_request_targets.append(server_id)
+        original(client, server_id, on_reply)
+
+    cluster.poll_server = tapped
+    cluster.run()
+    groups = [per_request_targets[i : i + 3] for i in range(0, len(per_request_targets), 3)]
+    assert all(len(set(group)) == 3 for group in groups)
+
+
+def test_chooses_min_of_polled():
+    policy = make_policy("polling", poll_size=8)  # polls all 8 servers
+    cluster = build_cluster(policy, n_requests=1200, load=0.9, seed=13)
+    replies_log = {}
+    original_dispatch = cluster.dispatch
+
+    def tapped(client, request, server_id):
+        # With d == n_servers the chosen one must be a global min at
+        # poll-arrival time; approximate check: its queue length at
+        # dispatch is never above every other server's.
+        lengths = [s.queue_length for s in cluster.servers]
+        replies_log[request.index] = (lengths[server_id], min(lengths))
+        original_dispatch(client, request, server_id)
+
+    cluster.dispatch = tapped
+    metrics = cluster.run()
+    del metrics
+    # Between poll and dispatch ~145us passes, so allow small slack:
+    violations = sum(1 for chosen, mn in replies_log.values() if chosen > mn + 2)
+    assert violations / len(replies_log) < 0.02
+
+
+def test_poll2_beats_random_significantly():
+    """Mitzenmacher/paper: d=2 is an exponential improvement."""
+    random_run = build_cluster(make_policy("random"), n_requests=6000, load=0.9, seed=17)
+    poll2_run = build_cluster(
+        make_policy("polling", poll_size=2), n_requests=6000, load=0.9, seed=17
+    )
+    random_mean = np.nanmean(random_run.run().response_time)
+    poll2_mean = np.nanmean(poll2_run.run().response_time)
+    assert poll2_mean < 0.6 * random_mean
+
+
+def test_poll3_close_to_poll8_in_simulation():
+    """Paper Figure 4: beyond d=2-3 additional polls add little (pure
+    simulation, no overheads)."""
+    means = {}
+    for d in (3, 8):
+        cluster = build_cluster(
+            make_policy("polling", poll_size=d), n_requests=8000, load=0.9, seed=19
+        )
+        means[d] = np.nanmean(cluster.run().response_time)
+    assert means[8] < means[3] * 1.15
+
+
+# ----------------------------------------------------------------------
+# discard-slow-polls
+# ----------------------------------------------------------------------
+
+def proto_cluster(policy, seed=23, n_requests=1500, load=0.9):
+    overhead = PrototypeOverheadModel()
+    return build_cluster(policy, n_requests=n_requests, load=load, seed=seed,
+                         overhead=overhead)
+
+
+def test_discard_uses_constants_default_timeout():
+    policy = make_policy("polling", poll_size=3, discard_slow=True)
+    cluster = build_cluster(policy, n_requests=100, load=0.5)
+    del cluster
+    assert policy.discard_timeout == PAPER_NET.discard_timeout
+
+
+def test_discard_caps_poll_time_near_timeout():
+    policy = make_policy("polling", poll_size=3, discard_slow=True)
+    cluster = proto_cluster(policy)
+    metrics = cluster.run()
+    # Poll time can exceed the 10ms cutoff only in the zero-reply corner
+    # (wait-for-first); the bulk must be capped.
+    frac_over = (metrics.poll_time > PAPER_NET.discard_timeout * 1.05).mean()
+    assert frac_over < 0.01
+
+
+def test_basic_poll_time_unbounded_under_overheads():
+    policy = make_policy("polling", poll_size=3)
+    cluster = proto_cluster(policy)
+    metrics = cluster.run()
+    assert (metrics.poll_time > PAPER_NET.discard_timeout).mean() > 0.05
+
+
+def test_discard_reduces_mean_poll_time():
+    basic = make_policy("polling", poll_size=3)
+    basic_metrics = proto_cluster(basic).run()
+    discard = make_policy("polling", poll_size=3, discard_slow=True)
+    discard_metrics = proto_cluster(discard).run()
+    assert np.nanmean(discard_metrics.poll_time) < 0.6 * np.nanmean(basic_metrics.poll_time)
+    assert discard.timeouts_fired > 0
+    assert discard.replies_discarded > 0
+
+
+def test_discard_every_request_still_dispatches():
+    policy = make_policy("polling", poll_size=8, discard_slow=True)
+    cluster = proto_cluster(policy, n_requests=800)
+    metrics = cluster.run()
+    assert np.isfinite(metrics.response_time).all()
+
+
+def test_counters_consistent():
+    policy = make_policy("polling", poll_size=3, discard_slow=True)
+    cluster = proto_cluster(policy, n_requests=600)
+    cluster.run()
+    assert policy.replies_received + policy.replies_discarded == policy.polls_sent
+
+
+def test_zero_reply_timeout_waits_for_first():
+    """Force huge reply delays: timeout fires with no replies; the first
+    reply must still dispatch the request (never dispatch blind)."""
+    slow = PrototypeOverheadModel(
+        poll_delay=PollDelayModel(
+            fast_weight=0.0, one_quantum_weight=0.0, multi_quantum_weight=1.0,
+            quantum=20e-3, multi_tail_mean=1e-3,
+        )
+    )
+    policy = make_policy("polling", poll_size=2, discard_slow=True)
+    cluster = build_cluster(policy, n_requests=300, load=0.9, seed=29, overhead=slow)
+    metrics = cluster.run()
+    assert np.isfinite(metrics.response_time).all()
+    busy_polls = metrics.poll_time > PAPER_NET.discard_timeout
+    assert busy_polls.any()  # the wait-for-first corner was exercised

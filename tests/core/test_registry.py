@@ -1,0 +1,56 @@
+"""Unit tests for the policy registry."""
+
+import pytest
+
+from repro.core import (
+    BroadcastPolicy,
+    IdealOracle,
+    RandomPollingPolicy,
+    available_policies,
+    make_policy,
+)
+
+
+def test_all_paper_policies_registered():
+    names = available_policies()
+    for required in ("random", "broadcast", "polling", "ideal", "manager"):
+        assert required in names
+
+
+def test_extensions_registered():
+    names = available_policies()
+    for extra in ("round_robin", "stale_jsq", "least_connections", "jsq"):
+        assert extra in names
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        make_policy("nonexistent")
+
+
+def test_params_forwarded():
+    policy = make_policy("polling", poll_size=4, discard_slow=True)
+    assert isinstance(policy, RandomPollingPolicy)
+    assert policy.poll_size == 4
+    assert policy.discard_slow
+
+
+def test_jsq_alias_is_ideal():
+    assert isinstance(make_policy("jsq"), IdealOracle)
+
+
+def test_broadcast_requires_interval():
+    with pytest.raises(TypeError):
+        make_policy("broadcast")
+    assert isinstance(make_policy("broadcast", mean_interval=0.1), BroadcastPolicy)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        make_policy("polling", poll_size=0)
+    with pytest.raises(ValueError):
+        make_policy("broadcast", mean_interval=-1.0)
+    with pytest.raises(ValueError):
+        make_policy("stale_jsq", update_interval=0.0)
+    with pytest.raises(ValueError):
+        make_policy("polling", poll_size=2, discard_slow=True, discard_timeout=0.0)

@@ -1,0 +1,92 @@
+"""Tests for random, round-robin, ideal, and least-connections."""
+
+import numpy as np
+
+from repro.core import make_policy
+from tests.core.conftest import build_cluster
+
+
+def test_random_spreads_load_roughly_uniformly():
+    cluster = build_cluster(make_policy("random"), n_requests=4000, load=0.3)
+    metrics = cluster.run()
+    counts = metrics.server_counts(cluster.n_servers, warmup_fraction=0.0)
+    expected = 4000 / cluster.n_servers
+    assert counts.min() > expected * 0.7
+    assert counts.max() < expected * 1.3
+
+
+def test_round_robin_exactly_uniform_single_client():
+    cluster = build_cluster(
+        make_policy("round_robin"), n_clients=1, n_servers=4, n_requests=400, load=0.2
+    )
+    metrics = cluster.run()
+    counts = metrics.server_counts(4, warmup_fraction=0.0)
+    assert (counts == 100).all()
+
+
+def test_round_robin_per_client_counters_independent():
+    cluster = build_cluster(
+        make_policy("round_robin"), n_clients=3, n_servers=4, n_requests=1200, load=0.2
+    )
+    metrics = cluster.run()
+    counts = metrics.server_counts(4, warmup_fraction=0.0)
+    assert (counts == 300).all()
+
+
+def test_ideal_never_picks_longer_queue_when_shorter_exists():
+    """Spot-check the oracle invariant via a custom wiretap."""
+    policy = make_policy("ideal")
+    cluster = build_cluster(policy, n_requests=1500, load=0.9)
+    chosen_vs_min = []
+    original_dispatch = cluster.dispatch
+
+    def tapped(client, request, server_id):
+        lengths = [s.queue_length for s in cluster.servers]
+        chosen_vs_min.append((lengths[server_id], min(lengths)))
+        original_dispatch(client, request, server_id)
+
+    cluster.dispatch = tapped
+    cluster.run()
+    assert all(chosen == minimum for chosen, minimum in chosen_vs_min)
+
+
+def test_ideal_weighted_prefers_fast_servers():
+    fast = [2.0, 1.0, 1.0, 1.0]
+    plain = build_cluster(
+        make_policy("ideal"), n_servers=4, server_speeds=fast, n_requests=4000, load=0.8
+    )
+    plain_counts = plain.run().server_counts(4, warmup_fraction=0.0)
+    weighted = build_cluster(
+        make_policy("ideal", weight_by_speed=True),
+        n_servers=4,
+        server_speeds=fast,
+        n_requests=4000,
+        load=0.8,
+    )
+    weighted_counts = weighted.run().server_counts(4, warmup_fraction=0.0)
+    # The weighted oracle should push more work to the 2x server.
+    assert weighted_counts[0] > plain_counts[0]
+
+
+def test_least_connections_beats_random_at_high_load():
+    random_run = build_cluster(make_policy("random"), n_requests=6000, load=0.9, seed=21)
+    lc_run = build_cluster(
+        make_policy("least_connections"), n_requests=6000, load=0.9, seed=21
+    )
+    random_mean = np.nanmean(random_run.run().response_time)
+    lc_mean = np.nanmean(lc_run.run().response_time)
+    assert lc_mean < random_mean
+
+
+def test_least_connections_counts_return_to_zero():
+    policy = make_policy("least_connections")
+    cluster = build_cluster(policy, n_requests=500, load=0.5)
+    cluster.run()
+    for client in cluster.clients:
+        counts = client.state["least_connections.counts"]
+        assert (counts == 0).all()
+
+
+def test_ideal_describe_variants():
+    assert make_policy("ideal").describe() == "ideal"
+    assert make_policy("ideal", weight_by_speed=True).describe() == "ideal(weighted)"

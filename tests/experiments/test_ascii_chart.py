@@ -1,0 +1,55 @@
+"""Tests for the ASCII line chart renderer."""
+
+import pytest
+
+from repro.experiments.report import ascii_chart
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {})
+    with pytest.raises(ValueError):
+        ascii_chart([1], {"s": [1.0]})
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"s": [1.0]})  # length mismatch
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"s": [1.0, 2.0]}, width=4)
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"s": [0.0, 1.0]}, logy=True)
+
+
+def test_markers_and_legend_present():
+    text = ascii_chart([1, 2, 3], {"alpha": [1.0, 2.0, 3.0], "beta": [3.0, 2.0, 1.0]})
+    assert "o=alpha" in text
+    assert "x=beta" in text
+    assert "o" in text.splitlines()[0] + text.splitlines()[-5]
+
+
+def test_monotone_series_marker_positions():
+    """An increasing series puts its marker higher (earlier row) for
+    larger values."""
+    text = ascii_chart([0, 1], {"s": [1.0, 10.0]}, width=20, height=10)
+    lines = text.splitlines()
+    first_marker_row = next(i for i, line in enumerate(lines) if "o" in line)
+    last_marker_row = max(i for i, line in enumerate(lines[:10]) if "o" in line)
+    assert first_marker_row < last_marker_row  # high value near top
+
+
+def test_axis_labels_show_range():
+    text = ascii_chart([0.5, 0.9], {"s": [1.0, 2.0]})
+    assert "0.5" in text and "0.9" in text
+
+
+def test_logy_renders_and_tags():
+    text = ascii_chart([1, 2, 3], {"s": [1.0, 10.0, 100.0]}, logy=True)
+    assert "[log y]" in text
+
+
+def test_constant_series_no_crash():
+    text = ascii_chart([1, 2], {"s": [5.0, 5.0]})
+    assert "o" in text
+
+
+def test_none_values_skipped():
+    text = ascii_chart([1, 2, 3], {"s": [1.0, None, 3.0]})
+    assert text.count("o=s") == 1

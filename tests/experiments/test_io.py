@@ -1,0 +1,60 @@
+"""Tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments import SimulationConfig, run_simulation
+from repro.experiments.io import load_results, save_results
+
+
+@pytest.fixture(scope="module")
+def results():
+    configs = [
+        SimulationConfig(policy="random", workload="poisson_exp", load=0.6,
+                         n_servers=2, n_requests=200, seed=s)
+        for s in (1, 2)
+    ]
+    return [run_simulation(c) for c in configs]
+
+
+def test_roundtrip(results, tmp_path):
+    path = tmp_path / "results.json"
+    save_results(results, path)
+    loaded = load_results(path)
+    assert len(loaded) == 2
+    for original, restored in zip(results, loaded):
+        assert restored == original  # frozen dataclasses compare by value
+
+
+def test_json_is_valid_and_versioned(results, tmp_path):
+    path = tmp_path / "results.json"
+    save_results(results, path)
+    document = json.loads(path.read_text())
+    assert document["schema_version"] == 1
+    assert "library_version" in document
+    assert document["results"][0]["config"]["policy"] == "random"
+
+
+def test_unsupported_schema_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": 99, "results": []}))
+    with pytest.raises(ValueError):
+        load_results(path)
+
+
+def test_server_speeds_tuple_roundtrip(tmp_path):
+    config = SimulationConfig(policy="random", n_servers=2, n_requests=100,
+                              server_speeds=(2.0, 1.0), load=0.4)
+    result = run_simulation(config)
+    path = tmp_path / "speeds.json"
+    save_results([result], path)
+    restored = load_results(path)[0]
+    assert restored.config.server_speeds == (2.0, 1.0)
+    assert restored == result
+
+
+def test_empty_results(tmp_path):
+    path = tmp_path / "empty.json"
+    save_results([], path)
+    assert load_results(path) == []

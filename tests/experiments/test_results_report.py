@@ -1,0 +1,82 @@
+"""Tests for ResultTable and text rendering."""
+
+import pytest
+
+from repro.experiments import ResultTable, format_table
+from repro.experiments.report import format_series
+
+
+def test_table_requires_columns():
+    with pytest.raises(ValueError):
+        ResultTable([])
+
+
+def test_add_and_column():
+    table = ResultTable(["a", "b"])
+    table.add(a=1, b=2.5)
+    table.add(a=3, b=4.5)
+    assert len(table) == 2
+    assert table.column("a") == [1, 3]
+    with pytest.raises(KeyError):
+        table.column("c")
+
+
+def test_add_missing_column_rejected():
+    table = ResultTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(a=1)
+
+
+def test_where_and_sorted_by():
+    table = ResultTable(["x", "y"])
+    for x, y in [(2, "b"), (1, "a"), (3, "c")]:
+        table.add(x=x, y=y)
+    filtered = table.where(lambda row: row["x"] > 1)
+    assert filtered.column("x") == [2, 3]
+    ordered = table.sorted_by("x")
+    assert ordered.column("y") == ["a", "b", "c"]
+
+
+def test_pivot_wide_format():
+    table = ResultTable(["load", "policy", "resp"])
+    for load in (0.5, 0.9):
+        for policy in ("random", "ideal"):
+            table.add(load=load, policy=policy, resp=load * (1 if policy == "ideal" else 2))
+    wide = table.pivot(index="load", column="policy", value="resp")
+    assert wide.columns == ["load", "ideal", "random"]
+    assert wide.rows[0]["ideal"] == 0.5
+    assert wide.rows[1]["random"] == 1.8
+
+
+def test_pivot_missing_cells_render_dash():
+    table = ResultTable(["i", "c", "v"])
+    table.add(i=1, c="a", v=1.0)
+    table.add(i=2, c="b", v=2.0)
+    wide = table.pivot("i", "c", "v")
+    text = wide.render()
+    assert "-" in text
+
+
+def test_render_alignment_and_floats():
+    table = ResultTable(["name", "value"])
+    table.add(name="x", value=1.23456)
+    text = table.render(floatfmt="{:.2f}")
+    assert "1.23" in text and "name" in text
+    assert str(table)
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table(["a"], [["1", "2"]])
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "bb"], [])
+    assert "a" in text and "bb" in text
+
+
+def test_format_series():
+    text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [None, 0.4]})
+    assert "s1" in text and "-" in text
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows

@@ -1,0 +1,128 @@
+"""End-to-end checks of the paper's headline claims (reduced sizes).
+
+Each test reproduces one conclusion from §6 / the evaluation sections.
+The full-size regenerations live in ``benchmarks/``; these run the same
+drivers at sizes small enough for the test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SimulationConfig, parallel_sweep, run_simulation
+from repro.experiments.runner import full_load_rho_for
+
+
+def sim_config(**kwargs):
+    defaults = dict(workload="poisson_exp", load=0.9, n_servers=16,
+                    n_requests=8000, seed=303)
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def sim_results():
+    """One shared sweep for the simulation-model claims."""
+    specs = {
+        "random": ("random", {}),
+        "poll2": ("polling", {"poll_size": 2}),
+        "poll3": ("polling", {"poll_size": 3}),
+        "poll8": ("polling", {"poll_size": 8}),
+        "ideal": ("ideal", {}),
+        "broadcast_slow": ("broadcast", {"mean_interval": 1.0}),
+        "broadcast_fast": ("broadcast", {"mean_interval": 0.005}),
+    }
+    configs = [
+        sim_config(policy=p, policy_params=pp, label=k) for k, (p, pp) in specs.items()
+    ]
+    results = parallel_sweep(configs, parallel=False)
+    return {r.config.label: r.mean_response_time for r in results}
+
+
+def test_claim1_polling_well_suited(sim_results):
+    """Conclusion 1: random polling is competitive with IDEAL across the
+    board — within a small factor at 90% load."""
+    assert sim_results["poll2"] < 2.5 * sim_results["ideal"]
+    assert sim_results["poll2"] < 0.5 * sim_results["random"]
+
+
+def test_claim2_small_poll_size_sufficient(sim_results):
+    """Conclusion 2 (simulation half): poll size 2 captures most of the
+    gain; larger polls add little."""
+    gain_2 = sim_results["random"] - sim_results["poll2"]
+    gain_8_over_2 = sim_results["poll2"] - sim_results["poll8"]
+    assert gain_8_over_2 < 0.25 * gain_2
+
+
+def test_claim2_large_poll_degrades_on_prototype():
+    """Conclusion 2 (prototype half): poll size 8 degrades for
+    fine-grain services — below even the random policy (Fig 6C)."""
+    base = SimulationConfig(workload="fine_grain", load=0.9, n_servers=16,
+                            n_requests=8000, seed=307, model="prototype")
+    base = base.with_updates(full_load_rho=full_load_rho_for(base))
+    random_result = run_simulation(base.with_updates(policy="random"))
+    poll2 = run_simulation(
+        base.with_updates(policy="polling", policy_params={"poll_size": 2})
+    )
+    poll8 = run_simulation(
+        base.with_updates(policy="polling", policy_params={"poll_size": 8})
+    )
+    assert poll2.mean_response_time < random_result.mean_response_time
+    assert poll8.mean_response_time > 2.0 * poll2.mean_response_time
+    assert poll8.mean_response_time > random_result.mean_response_time
+
+
+def test_claim3_discard_improves_fine_grain():
+    """Conclusion 3: discarding slow polls helps fine-grain services
+    (paper: up to 8.3%); the gain is much smaller/absent for the
+    heavy-tailed medium-grain trace."""
+    improvements = {}
+    for workload in ("fine_grain", "medium_grain"):
+        base = SimulationConfig(workload=workload, load=0.9, n_servers=16,
+                                n_requests=10_000, seed=311, model="prototype")
+        base = base.with_updates(full_load_rho=full_load_rho_for(base))
+        original = run_simulation(
+            base.with_updates(policy="polling", policy_params={"poll_size": 3})
+        )
+        optimized = run_simulation(
+            base.with_updates(
+                policy="polling",
+                policy_params={"poll_size": 3, "discard_slow": True},
+            )
+        )
+        improvements[workload] = (
+            1.0 - optimized.mean_response_time / original.mean_response_time
+        )
+    assert improvements["fine_grain"] > 0.02
+    assert improvements["fine_grain"] > improvements["medium_grain"] - 0.01
+
+
+def test_broadcast_frequency_tradeoff(sim_results):
+    """§2.2: 1s broadcast intervals are an order of magnitude worse than
+    IDEAL at 90% load for fine-grain workloads; very fast broadcasts are
+    close to IDEAL."""
+    assert sim_results["broadcast_slow"] > 5.0 * sim_results["ideal"]
+    assert sim_results["broadcast_fast"] < 1.7 * sim_results["ideal"]
+
+
+def test_manager_emulates_ideal_on_prototype():
+    """§4: the centralized manager tracks IDEAL within the TCP RTT."""
+    base = SimulationConfig(workload="poisson_exp", load=0.7, n_servers=16,
+                            n_requests=8000, seed=313, model="prototype")
+    base = base.with_updates(full_load_rho=full_load_rho_for(base))
+    manager = run_simulation(base.with_updates(policy="manager"))
+    sim_ideal = run_simulation(
+        base.with_updates(policy="ideal", model="simulation",
+                          load=base.load * base.full_load_rho)
+    )
+    assert manager.mean_response_time < sim_ideal.mean_response_time * 1.5 + 1e-3
+
+
+def test_poll_profile_matches_paper_section32():
+    """§3.2: at d=3 and 90% load, ≈8.1% of polls exceed 10 ms and ≈5.6%
+    exceed 20 ms."""
+    from repro.experiments.figures import poll_profile_section32
+
+    profile, _ = poll_profile_section32(n_requests=10_000, seed=317)
+    assert profile.frac_over_10ms == pytest.approx(0.081, abs=0.035)
+    assert profile.frac_over_20ms == pytest.approx(0.056, abs=0.030)
+    assert profile.frac_over_20ms < profile.frac_over_10ms

@@ -1,0 +1,40 @@
+"""Behavioral regression: compare against the committed baseline.
+
+If a refactor legitimately changes the numbers (different RNG
+consumption with the same distributions), regenerate the archive:
+
+    python -c "from repro.experiments.regression import write_baseline; write_baseline()"
+
+and review the drift in the diff of benchmarks/baselines/canonical.json.
+"""
+
+import pytest
+
+from repro.experiments.regression import (
+    DEFAULT_BASELINE,
+    canonical_configs,
+    compare_to_baseline,
+)
+
+
+def test_baseline_archive_exists():
+    assert DEFAULT_BASELINE.exists(), (
+        "no committed baseline; run write_baseline()"
+    )
+
+
+def test_canonical_configs_cover_policy_families():
+    labels = {config.label for config in canonical_configs()}
+    assert {"random", "ideal", "poll2", "broadcast50ms", "jiq",
+            "proto_manager"} <= labels
+    models = {config.model for config in canonical_configs()}
+    assert models == {"simulation", "prototype"}
+
+
+@pytest.mark.slow
+def test_no_behavioral_drift():
+    comparisons = compare_to_baseline(tolerance=0.25)
+    assert len(comparisons) == len(canonical_configs())
+    # Identical code + identical seeds should in fact be exact.
+    for comparison in comparisons:
+        assert abs(comparison.drift) < 1e-9, comparison.row()

@@ -1,0 +1,64 @@
+"""Seed robustness: the headline claims must hold across seeds.
+
+Single-seed shape tests can pass by luck; these re-check the decisive
+orderings over three independent seeds (marked slow)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SimulationConfig, run_simulation
+from repro.experiments.runner import full_load_rho_for
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_poll2_beats_random_every_seed_simulation(seed):
+    base = SimulationConfig(workload="poisson_exp", load=0.9, n_servers=16,
+                            n_requests=6000, seed=seed)
+    random_rt = run_simulation(base.with_updates(policy="random")).mean_response_time
+    poll2_rt = run_simulation(
+        base.with_updates(policy="polling", policy_params={"poll_size": 2})
+    ).mean_response_time
+    ideal_rt = run_simulation(base.with_updates(policy="ideal")).mean_response_time
+    assert ideal_rt < poll2_rt < 0.6 * random_rt
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fig6c_crossover_every_seed(seed):
+    base = SimulationConfig(workload="fine_grain", load=0.9, n_servers=16,
+                            n_requests=8000, seed=seed, model="prototype")
+    base = base.with_updates(full_load_rho=full_load_rho_for(base))
+    random_rt = run_simulation(base.with_updates(policy="random")).mean_response_time
+    poll3_rt = run_simulation(
+        base.with_updates(policy="polling", policy_params={"poll_size": 3})
+    ).mean_response_time
+    poll8_rt = run_simulation(
+        base.with_updates(policy="polling", policy_params={"poll_size": 8})
+    ).mean_response_time
+    assert poll3_rt < random_rt
+    assert poll8_rt > 1.5 * poll3_rt
+    assert poll8_rt > 0.9 * random_rt  # at or beyond the random crossover
+
+
+@pytest.mark.slow
+def test_discard_gain_positive_mean_across_seeds():
+    gains = []
+    for seed in SEEDS:
+        base = SimulationConfig(workload="fine_grain", load=0.9, n_servers=16,
+                                n_requests=8000, seed=seed, model="prototype")
+        base = base.with_updates(full_load_rho=full_load_rho_for(base))
+        original = run_simulation(
+            base.with_updates(policy="polling", policy_params={"poll_size": 3})
+        ).mean_response_time
+        optimized = run_simulation(
+            base.with_updates(
+                policy="polling",
+                policy_params={"poll_size": 3, "discard_slow": True},
+            )
+        ).mean_response_time
+        gains.append(1.0 - optimized / original)
+    assert np.mean(gains) > 0.02
+    assert sum(g > 0 for g in gains) >= 2

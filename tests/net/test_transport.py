@@ -1,0 +1,111 @@
+"""Unit tests for the Network transport and BroadcastChannel."""
+
+import numpy as np
+import pytest
+
+from repro.net import BroadcastChannel, ConstantLatency, MessageKind, Network
+from repro.sim import Simulator
+
+
+def make_net(latency=150e-6):
+    sim = Simulator()
+    net = Network(sim, np.random.default_rng(0), ConstantLatency(latency))
+    return sim, net
+
+
+def test_send_delivers_after_latency():
+    sim, net = make_net(latency=1e-3)
+    delivered = []
+    net.send(MessageKind.REQUEST, 0, 1, "payload", delivered.append)
+    sim.run()
+    assert len(delivered) == 1
+    message = delivered[0]
+    assert message.payload == "payload"
+    assert message.src == 0 and message.dst == 1
+    assert sim.now == pytest.approx(1e-3)
+
+
+def test_send_time_recorded():
+    sim, net = make_net()
+    sim.after(0.5, lambda: net.send(MessageKind.POLL, 1, 2, None, lambda m: None))
+    sim.run()
+    assert net.message_counts[MessageKind.POLL] == 1
+
+
+def test_per_kind_latency_override():
+    sim, net = make_net(latency=1.0)
+    net.set_latency(MessageKind.POLL, ConstantLatency(1e-6))
+    times = {}
+    net.send(MessageKind.POLL, 0, 1, None, lambda m: times.setdefault("poll", sim.now))
+    net.send(MessageKind.REQUEST, 0, 1, None, lambda m: times.setdefault("req", sim.now))
+    sim.run()
+    assert times["poll"] == pytest.approx(1e-6)
+    assert times["req"] == pytest.approx(1.0)
+
+
+def test_extra_delay_added():
+    sim, net = make_net(latency=1e-3)
+    times = []
+    net.send(MessageKind.POLL_REPLY, 0, 1, None, lambda m: times.append(sim.now),
+             extra_delay=5e-3)
+    sim.run()
+    assert times == [pytest.approx(6e-3)]
+
+
+def test_message_and_byte_accounting():
+    sim, net = make_net()
+    for _ in range(3):
+        net.send(MessageKind.POLL, 0, 1, None, lambda m: None)
+    net.send(MessageKind.REQUEST, 0, 1, None, lambda m: None, size_bytes=2048)
+    assert net.message_counts[MessageKind.POLL] == 3
+    assert net.message_counts[MessageKind.REQUEST] == 1
+    assert net.byte_counts[MessageKind.REQUEST] == 2048
+    assert net.total_messages() == 4
+    net.reset_counters()
+    assert net.total_messages() == 0
+
+
+def test_drop_filter_suppresses_delivery_but_counts():
+    sim, net = make_net()
+    net.drop_filter = lambda m: m.dst == 9
+    delivered = []
+    net.send(MessageKind.REQUEST, 0, 9, None, delivered.append)
+    net.send(MessageKind.REQUEST, 0, 1, None, delivered.append)
+    sim.run()
+    assert len(delivered) == 1 and delivered[0].dst == 1
+    assert net.dropped_counts[MessageKind.REQUEST] == 1
+    assert net.message_counts[MessageKind.REQUEST] == 2
+
+
+def test_broadcast_fanout():
+    sim, net = make_net(latency=1e-3)
+    channel = BroadcastChannel(net)
+    received = []
+    for node in (1, 2, 3):
+        channel.subscribe(node, lambda m, n=node: received.append((n, m.payload)))
+    count = channel.publish(src=0, payload=7)
+    sim.run()
+    assert count == 3
+    assert sorted(received) == [(1, 7), (2, 7), (3, 7)]
+    assert net.message_counts[MessageKind.BROADCAST] == 3
+
+
+def test_broadcast_unsubscribe():
+    sim, net = make_net()
+    channel = BroadcastChannel(net)
+    received = []
+    channel.subscribe(1, lambda m: received.append(1))
+    channel.subscribe(2, lambda m: received.append(2))
+    channel.unsubscribe(1)
+    channel.publish(src=0, payload=None)
+    sim.run()
+    assert received == [2]
+    assert channel.subscriber_count == 1
+
+
+def test_broadcast_channel_custom_kind():
+    sim, net = make_net()
+    channel = BroadcastChannel(net, kind=MessageKind.PUBLISH)
+    channel.subscribe(1, lambda m: None)
+    channel.publish(src=0, payload=None)
+    assert net.message_counts[MessageKind.PUBLISH] == 1

@@ -1,0 +1,90 @@
+"""Property-based tests for queueing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import fifo_queue_length_steps
+from repro.cluster import Request, ServerNode
+from repro.sim import Simulator
+
+positive_floats = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+
+job_arrays = st.integers(2, 120).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.float64, n, elements=st.floats(min_value=0.0, max_value=50.0)),
+        hnp.arrays(np.float64, n, elements=positive_floats),
+    )
+)
+
+
+@given(job_arrays)
+@settings(max_examples=80)
+def test_fifo_steps_invariants(arrays):
+    gaps, services = arrays
+    arrivals = np.cumsum(gaps)
+    times, queue = fifo_queue_length_steps(arrivals, services)
+    # Non-negative, integer-valued, ends empty, bounded by n.
+    assert (queue >= 0).all()
+    assert queue[-1] == 0
+    assert queue.max() <= len(gaps)
+    assert np.allclose(queue, np.round(queue))
+    # Breakpoint times non-decreasing.
+    assert (np.diff(times) >= -1e-12).all()
+
+
+@given(job_arrays)
+@settings(max_examples=60)
+def test_fifo_departure_times_work_conserving(arrays):
+    """Total busy time equals total service time (single server)."""
+    gaps, services = arrays
+    arrivals = np.cumsum(gaps)
+    times, queue = fifo_queue_length_steps(arrivals, services)
+    durations = np.diff(times)
+    busy_time = durations[queue[:-1] > 0].sum()
+    assert busy_time == np.float64(busy_time)
+    assert abs(busy_time - services.sum()) < 1e-6 * max(1.0, services.sum())
+
+
+@given(job_arrays)
+@settings(max_examples=60)
+def test_server_node_matches_vectorized_fifo(arrays):
+    """The event-driven ServerNode and the vectorized FIFO recursion
+    compute identical departure times."""
+    gaps, services = arrays
+    arrivals = np.cumsum(gaps)
+    sim = Simulator()
+    server = ServerNode(sim, 0)
+    completions = {}
+    server.on_complete = lambda s, r: completions.setdefault(r.index, sim.now)
+    for i, (arrival, service) in enumerate(zip(arrivals, services)):
+        request = Request(i, 99, float(service), float(arrival))
+        sim.at(float(arrival), server.enqueue, request)
+    sim.run()
+    cum = np.cumsum(services)
+    slack = arrivals.copy()
+    slack[1:] -= cum[:-1]
+    expected = cum + np.maximum.accumulate(slack)
+    actual = np.array([completions[i] for i in range(len(gaps))])
+    assert np.allclose(actual, expected, rtol=1e-12, atol=1e-9)
+
+
+@given(
+    st.lists(positive_floats, min_size=1, max_size=60),
+    st.integers(1, 4),
+)
+@settings(max_examples=60)
+def test_multi_worker_completions_conserve_work(service_list, workers):
+    """With k workers and simultaneous arrivals, makespan >= total/k and
+    every job completes."""
+    sim = Simulator()
+    server = ServerNode(sim, 0, workers=workers)
+    done = []
+    server.on_complete = lambda s, r: done.append(r.index)
+    for i, service in enumerate(service_list):
+        server.enqueue(Request(i, 99, service, 0.0))
+    sim.run()
+    assert sorted(done) == list(range(len(service_list)))
+    assert sim.now >= sum(service_list) / workers - 1e-9
+    assert sim.now >= max(service_list) - 1e-12

@@ -1,0 +1,61 @@
+"""Tests for the 98%-under-2s full-load calibration."""
+
+import pytest
+
+from repro.prototype import calibrate_full_load
+from repro.workload import make_workload
+
+
+@pytest.fixture(scope="module")
+def calibrations():
+    out = {}
+    for name in ("fine_grain", "poisson_exp", "medium_grain"):
+        out[name] = calibrate_full_load(make_workload(name), n_requests=4000, seed=5)
+    return out
+
+
+def test_full_load_below_or_at_nominal_saturation(calibrations):
+    for calibration in calibrations.values():
+        assert 0.4 < calibration.nominal_rho_at_full_load <= 1.02
+
+
+def test_fine_grain_has_least_headroom(calibrations):
+    """Near-deterministic service -> the 2s criterion trips only near
+    nominal saturation; heavy-tailed Medium-Grain trips much earlier.
+    This ordering is what makes Figure 6C (and not 6A) collapse at d=8."""
+    fine = calibrations["fine_grain"].nominal_rho_at_full_load
+    poisson = calibrations["poisson_exp"].nominal_rho_at_full_load
+    medium = calibrations["medium_grain"].nominal_rho_at_full_load
+    # The robust invariant: fine-grain calibrates near saturation, the
+    # variable-service workloads well below it. (The poisson/medium
+    # ordering is noisy at short calibration runs, so not asserted.)
+    assert fine > poisson and fine > medium
+    assert fine > 0.95
+    assert poisson < 0.96 and medium < 0.96
+
+
+def test_achieved_fraction_near_target(calibrations):
+    for calibration in calibrations.values():
+        assert calibration.achieved_completion_fraction == pytest.approx(0.98, abs=0.015)
+
+
+def test_nominal_scaling(calibrations):
+    calibration = calibrations["poisson_exp"]
+    assert calibration.nominal(0.5) == pytest.approx(
+        0.5 * calibration.nominal_rho_at_full_load
+    )
+    with pytest.raises(ValueError):
+        calibration.nominal(0.0)
+
+
+def test_calibration_deterministic():
+    a = calibrate_full_load(make_workload("poisson_exp"), n_requests=2000, seed=7)
+    b = calibrate_full_load(make_workload("poisson_exp"), n_requests=2000, seed=7)
+    assert a.nominal_rho_at_full_load == b.nominal_rho_at_full_load
+
+
+def test_target_fraction_validation():
+    with pytest.raises(ValueError):
+        calibrate_full_load(make_workload("poisson_exp"), target_fraction=1.0)
+    with pytest.raises(ValueError):
+        calibrate_full_load(make_workload("poisson_exp"), rho_bounds=(1.0, 0.5))

@@ -1,0 +1,31 @@
+"""Tests for the CPU-spinning microbenchmark."""
+
+import pytest
+
+from repro.prototype import SpinCalibration, calibrate_spin, spin_for
+
+
+def test_calibrate_validation():
+    with pytest.raises(ValueError):
+        calibrate_spin(0.0)
+
+
+def test_calibration_measures_positive_rate():
+    calibration = calibrate_spin(target_seconds=0.02)
+    assert calibration.iterations_per_second > 1e5
+    assert calibration.calibration_seconds >= 0.02
+
+
+def test_iterations_for_scaling():
+    calibration = SpinCalibration(iterations_per_second=1e6, calibration_seconds=0.05)
+    assert calibration.iterations_for(0.01) == 10_000
+    assert calibration.iterations_for(0.0) == 1
+    with pytest.raises(ValueError):
+        calibration.iterations_for(-1.0)
+
+
+def test_spin_for_burns_requested_time():
+    calibration = calibrate_spin(target_seconds=0.02)
+    measured = spin_for(0.02, calibration)
+    # Open-loop emulation: allow generous scheduling noise.
+    assert 0.008 < measured < 0.1

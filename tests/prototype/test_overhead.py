@@ -1,0 +1,77 @@
+"""Unit tests for the prototype overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Request, ServerNode
+from repro.prototype import PAPER_PROFILE, PollDelayModel, PrototypeOverheadModel
+from repro.sim import Simulator
+
+
+def test_delay_model_weight_validation():
+    with pytest.raises(ValueError):
+        PollDelayModel(fast_weight=0.5, one_quantum_weight=0.1, multi_quantum_weight=0.1)
+    with pytest.raises(ValueError):
+        PollDelayModel(fast_weight=1.2, one_quantum_weight=-0.1, multi_quantum_weight=-0.1)
+    with pytest.raises(ValueError):
+        PollDelayModel(quantum=0.0, fast_weight=1.0, one_quantum_weight=0.0,
+                       multi_quantum_weight=0.0)
+
+
+def test_delay_model_modes():
+    """Samples fall in the three mode supports."""
+    model = PollDelayModel()
+    rng = np.random.default_rng(0)
+    samples = np.array([model.sample_busy(rng) for _ in range(50_000)])
+    fast = samples <= model.fast_max
+    one_quantum = (samples >= model.quantum) & (samples <= 2 * model.quantum)
+    multi = samples >= 2 * model.quantum
+    assert (fast | one_quantum | multi).all()
+    assert fast.mean() == pytest.approx(model.fast_weight, abs=0.01)
+    assert multi.mean() == pytest.approx(model.multi_quantum_weight, abs=0.01)
+
+
+def test_exceed_probabilities_match_paper_profile():
+    """At ~90% busy probability the defaults hit the published 8.1%/5.6%."""
+    model = PollDelayModel()
+    over10, over20 = model.exceed_probabilities(busy_probability=0.9)
+    assert over10 == pytest.approx(PAPER_PROFILE[0], abs=0.002)
+    assert over20 == pytest.approx(PAPER_PROFILE[1], abs=0.002)
+
+
+def test_exceed_probabilities_validation():
+    with pytest.raises(ValueError):
+        PollDelayModel().exceed_probabilities(1.5)
+
+
+def test_overhead_model_validation():
+    with pytest.raises(ValueError):
+        PrototypeOverheadModel(poll_cpu_cost=-1.0)
+
+
+def test_sample_reply_delay_idle_server_is_zero():
+    sim = Simulator()
+    server = ServerNode(sim, 0)
+    model = PrototypeOverheadModel()
+    rng = np.random.default_rng(0)
+    assert model.sample_reply_delay(server, rng) == 0.0
+
+
+def test_sample_reply_delay_busy_server_positive_sometimes_slow():
+    sim = Simulator()
+    server = ServerNode(sim, 0)
+    server.on_complete = lambda s, r: None
+    server.enqueue(Request(0, 9, service_time=100.0, arrival_time=0.0))
+    model = PrototypeOverheadModel()
+    rng = np.random.default_rng(1)
+    samples = np.array([model.sample_reply_delay(server, rng) for _ in range(20_000)])
+    assert (samples >= 0).all()
+    assert (samples > 10e-3).mean() == pytest.approx(0.09, abs=0.01)
+
+
+def test_model_is_hashable_for_caching():
+    """The runner caches calibrations keyed by the (frozen) model."""
+    a, b = PrototypeOverheadModel(), PrototypeOverheadModel()
+    assert hash(a) == hash(b)
+    assert a == b
+    assert {a: 1}[b] == 1

@@ -1,0 +1,170 @@
+"""Unit tests for the event scheduler."""
+
+import math
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.peek() == math.inf
+    assert sim.step() is False
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.after(2.0, fired.append, "c")
+    sim.after(1.0, fired.append, "b")
+    sim.after(0.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 2.0
+
+
+def test_fifo_at_equal_times():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.at(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_zero_arg_callback():
+    sim = Simulator()
+    hits = []
+    sim.after(1.0, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [1.0]
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append(("first", sim.now))
+        sim.call_soon(lambda: order.append(("soon", sim.now)))
+
+    sim.after(3.0, first)
+    sim.after(3.0, lambda: order.append(("second", sim.now)))
+    sim.run()
+    assert order == [("first", 3.0), ("second", 3.0), ("soon", 3.0)]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.after(1.0, fired.append, "x")
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+    assert sim.pending == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.after(1.0, lambda: None)
+    sim.cancel(handle)
+    sim.cancel(handle)
+    assert sim.pending == 0
+
+
+def test_cannot_schedule_into_past():
+    sim = Simulator()
+    sim.after(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-0.1, lambda: None)
+
+
+def test_run_until_advances_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.after(1.0, fired.append, "a")
+    sim.after(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.after(5.0, fired.append, "edge")
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.after(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.pending == 7
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.after(1.0, chain, n + 1)
+
+    sim.after(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 6.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    handle = sim.after(1.0, lambda: None)
+    sim.after(2.0, lambda: None)
+    sim.cancel(handle)
+    assert sim.peek() == 2.0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.after(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 4
+
+
+def test_trace_hook_sees_every_event():
+    sim = Simulator()
+    seen = []
+    sim.trace = lambda t, h: seen.append(t)
+    sim.after(1.0, lambda: None)
+    sim.after(2.0, lambda: None)
+    sim.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    handles = [sim.after(1.0, lambda: None) for _ in range(5)]
+    assert sim.pending == 5
+    sim.cancel(handles[0])
+    assert sim.pending == 4
+    sim.run()
+    assert sim.pending == 0

@@ -1,0 +1,110 @@
+"""Unit tests for signals and combinators."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Signal, SimulationError, Simulator
+
+
+def test_signal_succeed_delivers_value():
+    sim = Simulator()
+    sig = Signal(sim)
+    got = []
+    sig.add_callback(lambda s: got.append(s.value))
+    sig.succeed(42)
+    assert got == [42]
+    assert sig.ok
+
+
+def test_callback_after_trigger_runs_immediately():
+    sim = Simulator()
+    sig = Signal(sim).succeed("v")
+    got = []
+    sig.add_callback(lambda s: got.append(s.value))
+    assert got == ["v"]
+
+
+def test_double_trigger_raises():
+    sim = Simulator()
+    sig = Signal(sim).succeed()
+    with pytest.raises(SimulationError):
+        sig.succeed()
+    with pytest.raises(SimulationError):
+        sig.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        Signal(sim).fail("not an exception")
+
+
+def test_fail_sets_exception_not_ok():
+    sim = Simulator()
+    sig = Signal(sim)
+    error = RuntimeError("boom")
+    sig.fail(error)
+    assert sig.triggered
+    assert not sig.ok
+    assert sig.exception is error
+
+
+def test_succeed_later_fires_at_right_time():
+    sim = Simulator()
+    sig = Signal(sim)
+    times = []
+    sig.add_callback(lambda s: times.append(sim.now))
+    sig.succeed_later(2.5, "late")
+    sim.run()
+    assert times == [2.5]
+    assert sig.value == "late"
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    a, b, c = (Signal(sim) for _ in range(3))
+    combined = AllOf(sim, [a, b, c])
+    b.succeed(2)
+    a.succeed(1)
+    assert not combined.triggered
+    c.succeed(3)
+    assert combined.value == [1, 2, 3]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    combined = AllOf(sim, [])
+    assert combined.triggered and combined.value == []
+
+
+def test_all_of_fails_fast():
+    sim = Simulator()
+    a, b = Signal(sim), Signal(sim)
+    combined = AllOf(sim, [a, b])
+    error = ValueError("first failure")
+    a.fail(error)
+    assert combined.exception is error
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    a, b = Signal(sim), Signal(sim)
+    first = AnyOf(sim, [a, b])
+    b.succeed("bee")
+    assert first.value == (1, "bee")
+    # Later triggers are ignored.
+    a.succeed("ay")
+    assert first.value == (1, "bee")
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(sim, [])
+
+
+def test_any_of_with_pretriggered_child():
+    sim = Simulator()
+    a = Signal(sim).succeed("early")
+    b = Signal(sim)
+    first = AnyOf(sim, [a, b])
+    assert first.value == (0, "early")

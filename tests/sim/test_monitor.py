@@ -1,0 +1,120 @@
+"""Unit tests for measurement recorders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import GrowableArray, StepRecorder, TallyRecorder
+
+
+def test_growable_append_and_view():
+    arr = GrowableArray(initial_capacity=2)
+    for i in range(10):
+        arr.append(float(i))
+    assert len(arr) == 10
+    assert np.array_equal(arr.view(), np.arange(10.0))
+
+
+def test_growable_view_is_readonly():
+    arr = GrowableArray()
+    arr.append(1.0)
+    view = arr.view()
+    with pytest.raises(ValueError):
+        view[0] = 2.0
+
+
+def test_growable_extend():
+    arr = GrowableArray(initial_capacity=1)
+    arr.extend(np.arange(5.0))
+    arr.extend(np.arange(5.0, 12.0))
+    assert np.array_equal(arr.view(), np.arange(12.0))
+
+
+def test_growable_array_returns_copy():
+    arr = GrowableArray()
+    arr.append(1.0)
+    copy = arr.array()
+    copy[0] = 99.0
+    assert arr.view()[0] == 1.0
+
+
+def test_tally_summary_stats():
+    tally = TallyRecorder()
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        tally.record(v)
+    assert tally.mean() == 2.5
+    assert tally.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+    assert tally.percentile(50) == 2.5
+    assert len(tally) == 4
+
+
+def test_tally_empty_is_nan():
+    tally = TallyRecorder()
+    assert math.isnan(tally.mean())
+    assert math.isnan(tally.std())
+    assert math.isnan(tally.percentile(99))
+
+
+def test_step_value_at_before_first_breakpoint():
+    rec = StepRecorder(initial=5.0)
+    rec.record(1.0, 10.0)
+    values = rec.value_at(np.array([0.0, 0.999, 1.0, 2.0]))
+    assert values.tolist() == [5.0, 5.0, 10.0, 10.0]
+
+
+def test_step_right_continuity():
+    rec = StepRecorder()
+    rec.record(0.0, 1.0)
+    rec.record(2.0, 3.0)
+    assert rec.value_at(np.array([2.0]))[0] == 3.0
+    assert rec.value_at(np.array([1.9999]))[0] == 1.0
+
+
+def test_step_rejects_nonmonotone_times():
+    rec = StepRecorder()
+    rec.record(2.0, 1.0)
+    with pytest.raises(ValueError):
+        rec.record(1.0, 2.0)
+
+
+def test_step_equal_times_allowed_last_wins():
+    rec = StepRecorder()
+    rec.record(1.0, 5.0)
+    rec.record(1.0, 7.0)
+    assert rec.value_at(np.array([1.0]))[0] == 7.0
+
+
+def test_time_average_simple():
+    rec = StepRecorder()
+    rec.record(0.0, 1.0)
+    rec.record(1.0, 3.0)
+    # [0,1): 1, [1,2): 3 -> average over [0,2] is 2
+    assert rec.time_average(0.0, 2.0) == pytest.approx(2.0)
+
+
+def test_time_average_window_inside_segment():
+    rec = StepRecorder()
+    rec.record(0.0, 4.0)
+    rec.record(10.0, 8.0)
+    assert rec.time_average(2.0, 5.0) == pytest.approx(4.0)
+
+
+def test_time_average_empty_recorder_uses_initial():
+    rec = StepRecorder(initial=2.5)
+    assert rec.time_average(0.0, 4.0) == 2.5
+
+
+def test_time_average_invalid_window():
+    rec = StepRecorder()
+    with pytest.raises(ValueError):
+        rec.time_average(3.0, 3.0)
+
+
+def test_breakpoints_views():
+    rec = StepRecorder()
+    rec.record(1.0, 2.0)
+    rec.record(3.0, 4.0)
+    times, values = rec.breakpoints()
+    assert times.tolist() == [1.0, 3.0]
+    assert values.tolist() == [2.0, 4.0]

@@ -1,0 +1,182 @@
+"""Unit tests for generator processes."""
+
+import pytest
+
+from repro.sim import Process, Signal, Simulator
+from repro.sim.process import ProcessInterrupt
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+
+    def not_a_generator():
+        return 1
+
+    with pytest.raises(TypeError):
+        Process(sim, not_a_generator)  # forgot to call
+
+
+def test_sleep_advances_clock():
+    sim = Simulator()
+    marks = []
+
+    def worker():
+        marks.append(sim.now)
+        yield 1.5
+        marks.append(sim.now)
+        yield 2.5
+        marks.append(sim.now)
+
+    Process(sim, worker())
+    sim.run()
+    assert marks == [0.0, 1.5, 4.0]
+
+
+def test_process_return_value_becomes_signal_value():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return "payload"
+
+    p = Process(sim, worker())
+    sim.run()
+    assert p.ok and p.value == "payload"
+
+
+def test_yield_signal_receives_value():
+    sim = Simulator()
+    sig = Signal(sim)
+    got = []
+
+    def worker():
+        value = yield sig
+        got.append(value)
+
+    Process(sim, worker())
+    sim.after(3.0, lambda: sig.succeed("hello"))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_yield_failed_signal_raises_inside_process():
+    sim = Simulator()
+    sig = Signal(sim)
+    caught = []
+
+    def worker():
+        try:
+            yield sig
+        except RuntimeError as error:
+            caught.append(str(error))
+
+    Process(sim, worker())
+    sim.after(1.0, lambda: sig.fail(RuntimeError("bad")))
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_uncaught_exception_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        raise ValueError("kaput")
+
+    p = Process(sim, worker())
+    sim.run()
+    assert p.triggered and isinstance(p.exception, ValueError)
+
+
+def test_join_another_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield 2.0
+        order.append(("child", sim.now))
+        return 7
+
+    def parent():
+        result = yield Process(sim, child())
+        order.append(("parent", sim.now, result))
+
+    Process(sim, parent())
+    sim.run()
+    assert order == [("child", 2.0), ("parent", 2.0, 7)]
+
+
+def test_interrupt_delivers_exception():
+    sim = Simulator()
+    events = []
+
+    def worker():
+        try:
+            yield 100.0
+        except ProcessInterrupt:
+            events.append(("interrupted", sim.now))
+
+    p = Process(sim, worker())
+    sim.after(5.0, lambda: p.interrupt())
+    sim.run()
+    assert events == [("interrupted", 5.0)]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return "ok"
+
+    p = Process(sim, worker())
+    sim.run()
+    p.interrupt()
+    sim.run()
+    assert p.value == "ok"
+
+
+def test_bad_directive_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield "not a directive"
+
+    p = Process(sim, worker())
+    sim.run()
+    assert isinstance(p.exception, TypeError)
+
+
+def test_negative_sleep_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield -1.0
+
+    p = Process(sim, worker())
+    sim.run()
+    assert isinstance(p.exception, ValueError)
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield period
+            log.append((name, sim.now))
+
+    Process(sim, ticker("fast", 1.0))
+    Process(sim, ticker("slow", 1.5))
+    sim.run()
+    # At t=3.0 both wake; "slow" scheduled its resume earlier (at t=1.5)
+    # so it wins the deterministic (time, seq) tie-break.
+    assert log == [
+        ("fast", 1.0),
+        ("slow", 1.5),
+        ("fast", 2.0),
+        ("slow", 3.0),
+        ("fast", 3.0),
+        ("slow", 4.5),
+    ]

@@ -1,0 +1,118 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Process, Resource, SimulationError, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    a = res.acquire()
+    b = res.acquire()
+    c = res.acquire()
+    assert a.triggered and b.triggered and not c.triggered
+    assert res.available == 0
+    assert res.queue_length == 1
+
+
+def test_resource_release_hands_to_waiter_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    first = res.acquire()
+    second = res.acquire()
+    res.release()
+    assert first.triggered and not second.triggered
+    res.release()
+    assert second.triggered
+
+
+def test_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_with_processes_serializes_work():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def user(name, hold):
+        yield res.acquire()
+        start = sim.now
+        yield hold
+        res.release()
+        spans.append((name, start, sim.now))
+
+    Process(sim, user("a", 2.0))
+    Process(sim, user("b", 3.0))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = store.get()
+    assert got.triggered and got.value == "x"
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = store.get()
+    assert not got.triggered
+    store.put("y")
+    assert got.value == "y"
+
+
+def test_store_fifo_order_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.get().value == 1
+    assert store.get().value == 2
+    g1 = store.get()
+    g2 = store.get()
+    store.put("a")
+    store.put("b")
+    assert (g1.value, g2.value) == ("a", "b")
+
+
+def test_bounded_store_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.put("a").triggered
+    blocked = store.put("b")
+    assert not blocked.triggered
+    assert store.putters_waiting == 1
+    assert store.get().value == "a"
+    assert blocked.triggered
+    assert store.get().value == "b"
+
+
+def test_try_put_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    assert store.try_get() == (True, "a")
+    assert store.try_get() == (False, None)
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)

@@ -1,0 +1,103 @@
+"""Tests for the event tracing subsystem."""
+
+import pytest
+
+from repro.sim import EventTrace, Simulator
+
+
+def named(label):
+    def fn():
+        pass
+
+    fn.__qualname__ = label
+    return fn
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        EventTrace(Simulator(), capacity=0)
+
+
+def test_records_executed_events_in_order():
+    sim = Simulator()
+    trace = EventTrace(sim)
+    sim.after(1.0, named("a"))
+    sim.after(2.0, named("b"))
+    sim.run()
+    assert trace.labels() == ["a", "b"]
+    assert trace.times().tolist() == [1.0, 2.0]
+
+
+def test_filter_limits_records():
+    sim = Simulator()
+    trace = EventTrace(sim, filter_fn=lambda h: "keep" in getattr(h.fn, "__qualname__", ""))
+    sim.after(1.0, named("keep_this"))
+    sim.after(2.0, named("drop_this"))
+    sim.run()
+    assert trace.labels() == ["keep_this"]
+
+
+def test_ring_buffer_evicts_oldest():
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=3)
+    for i in range(6):
+        sim.after(float(i + 1), named(f"e{i}"))
+    sim.run()
+    assert len(trace) == 3
+    assert trace.dropped == 3
+    assert trace.labels() == ["e3", "e4", "e5"]
+
+
+def test_detach_stops_recording():
+    sim = Simulator()
+    trace = EventTrace(sim)
+    sim.after(1.0, named("before"))
+    sim.run()
+    trace.detach()
+    sim.after(1.0, named("after"))
+    sim.run()
+    assert trace.labels() == ["before"]
+
+
+def test_attach_detach_idempotent():
+    sim = Simulator()
+    trace = EventTrace(sim)
+    trace.attach()  # no-op
+    trace.detach()
+    trace.detach()  # no-op
+    assert sim.trace is None
+
+
+def test_chained_hooks_both_fire():
+    sim = Simulator()
+    seen = []
+    sim.trace = lambda t, h: seen.append(t)
+    trace = EventTrace(sim)
+    sim.after(1.0, named("x"))
+    sim.run()
+    assert seen == [1.0]
+    assert trace.labels() == ["x"]
+    trace.detach()
+    assert sim.trace is not None  # original hook restored
+
+
+def test_between_and_rate():
+    sim = Simulator()
+    trace = EventTrace(sim)
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.after(t, named(f"t{t}"))
+    sim.run()
+    assert len(trace.between(1.0, 3.0)) == 2
+    assert trace.rate(window=2.0) == pytest.approx(1.5)  # {1.5, 2.5, 3.5} in [1.5, 3.5]
+    with pytest.raises(ValueError):
+        trace.rate(0.0)
+
+
+def test_dump_renders():
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=2)
+    for i in range(4):
+        sim.after(float(i + 1), named(f"e{i}"))
+    sim.run()
+    text = trace.dump()
+    assert "e3" in text and "dropped" in text

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["fig4", "--requests", "500", "--seed", "2"])
+    assert args.command == "fig4"
+    assert args.requests == 500
+    assert args.seed == 2
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig5"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig2", "fig3", "fig4", "fig6", "table2"):
+        assert name in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Fine-Grain trace" in out
+    assert "regenerated in" in out
+
+
+def test_fig2_command_small(capsys):
+    assert main(["fig2", "--requests", "30000"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "Eq.1" in out
+
+
+def test_fig4_command_small(capsys):
+    assert main(["fig4", "--requests", "2000", "--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "poll-2" in out
+
+
+def test_profile_command_small(capsys):
+    assert main(["profile", "--requests", "3000"]) == 0
+    out = capsys.readouterr().out
+    assert ">10ms" in out
+
+
+def test_compare_command_small(capsys):
+    assert main(["compare", "--requests", "600", "--replications", "2",
+                 "--serial", "--load", "0.8"]) == 0
+    out = capsys.readouterr().out
+    assert "ideal" in out and "±" in out
+    # Sorted ascending: the oracle line comes before random's.
+    assert out.index("ideal") < out.index("random")

@@ -1,0 +1,87 @@
+"""Unit tests for empirical distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    EmpiricalDistribution,
+    Trace,
+    empirical_workload_from_trace,
+)
+
+
+def data(n=5000, seed=0):
+    return np.random.default_rng(seed).lognormal(0.0, 1.0, n)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EmpiricalDistribution(np.array([1.0]))
+    with pytest.raises(ValueError):
+        EmpiricalDistribution(np.array([1.0, -1.0]))
+
+
+def test_bootstrap_draws_only_observed_values():
+    observed = np.array([1.0, 2.0, 3.0])
+    dist = EmpiricalDistribution(observed)
+    samples = dist.sample(rng(), 1000)
+    assert set(np.unique(samples)) <= set(observed)
+
+
+def test_moments_match_data():
+    values = data()
+    dist = EmpiricalDistribution(values)
+    assert dist.mean() == pytest.approx(values.mean())
+    assert dist.std() == pytest.approx(values.std(ddof=1))
+    assert dist.n_observations == values.size
+
+
+def test_bootstrap_sample_mean_converges():
+    dist = EmpiricalDistribution(data())
+    samples = dist.sample(rng(), 100_000)
+    assert samples.mean() == pytest.approx(dist.mean(), rel=0.03)
+
+
+def test_smoothed_interpolates_between_observations():
+    observed = np.array([1.0, 2.0])
+    dist = EmpiricalDistribution(observed, smoothed=True)
+    samples = dist.sample(rng(), 5000)
+    assert ((samples >= 1.0) & (samples <= 2.0)).all()
+    interior = (samples > 1.01) & (samples < 1.99)
+    assert interior.mean() > 0.9
+
+
+def test_scalar_sample():
+    value = EmpiricalDistribution(data(100)).sample(rng())
+    assert isinstance(value, float) and value > 0
+
+
+def test_quantile():
+    dist = EmpiricalDistribution(np.arange(1.0, 101.0))
+    assert dist.quantile(0.0) == 1.0
+    assert dist.quantile(1.0) == 100.0
+    assert 45.0 < dist.quantile(0.5) < 56.0
+    with pytest.raises(ValueError):
+        dist.quantile(1.5)
+
+
+def test_workload_from_trace_preserves_marginals():
+    source = Trace(
+        "observed",
+        interarrival=np.random.default_rng(1).exponential(0.1, 4000),
+        service=np.random.default_rng(2).exponential(0.02, 4000),
+    )
+    workload = empirical_workload_from_trace(source)
+    gaps, services = workload.generate(rng(), 50_000)
+    assert gaps.mean() == pytest.approx(source.interarrival.mean(), rel=0.05)
+    assert services.mean() == pytest.approx(source.service.mean(), rel=0.05)
+    assert "resampled" in workload.name
+
+
+def test_repr():
+    assert "bootstrap" in repr(EmpiricalDistribution(data(10)))
+    assert "smoothed" in repr(EmpiricalDistribution(data(10), smoothed=True))

@@ -1,0 +1,36 @@
+"""Tests for the MMPP registry workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload import make_workload
+
+
+def test_mmpp_exp_registered_and_generates():
+    workload = make_workload("mmpp_exp", burst_ratio=5.0)
+    gaps, services = workload.generate(np.random.default_rng(0), 20_000)
+    assert gaps.shape == services.shape == (20_000,)
+    assert (gaps >= 0).all() and (services > 0).all()
+
+
+def test_mmpp_mean_rate_matches_mean_service():
+    workload = make_workload("mmpp_exp", mean_service=0.01, burst_ratio=4.0)
+    gaps, _ = workload.generate(np.random.default_rng(1), 200_000)
+    assert gaps.mean() == pytest.approx(0.01, rel=0.1)
+
+
+def test_mmpp_burstier_than_poisson():
+    mmpp_gaps, _ = make_workload("mmpp_exp", burst_ratio=8.0).generate(
+        np.random.default_rng(2), 150_000
+    )
+    poisson_gaps, _ = make_workload("poisson_exp").generate(
+        np.random.default_rng(2), 150_000
+    )
+    assert (mmpp_gaps.std() / mmpp_gaps.mean()) > 1.1 * (
+        poisson_gaps.std() / poisson_gaps.mean()
+    )
+
+
+def test_burst_ratio_validation():
+    with pytest.raises(ValueError):
+        make_workload("mmpp_exp", burst_ratio=1.0)

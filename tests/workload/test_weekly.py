@@ -1,0 +1,110 @@
+"""Tests for weekly trace synthesis and peak-portion extraction."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    DiurnalProfile,
+    FINE_GRAIN_SPEC,
+    extract_peak_portion,
+    synthesize_weekly_trace,
+)
+
+SCALE = 0.02  # ~70s "hours" keep tests fast
+
+
+def rng():
+    return np.random.default_rng(8)
+
+
+def weekly(scale=SCALE, profile=None):
+    return synthesize_weekly_trace(FINE_GRAIN_SPEC, rng(), profile=profile, scale=scale)
+
+
+def test_profile_validation_and_shape():
+    profile = DiurnalProfile()
+    with pytest.raises(ValueError):
+        profile.multiplier(168)
+    multipliers = profile.multipliers()
+    assert multipliers.shape == (168,)
+    assert multipliers.max() == 1.0
+    # Weekday peak hour is the global max; weekend peak is discounted.
+    assert profile.multiplier(13) == 1.0
+    assert profile.multiplier(5 * 24 + 13) == pytest.approx(0.6)
+    assert profile.multiplier(3) == pytest.approx(0.15)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        synthesize_weekly_trace(FINE_GRAIN_SPEC, rng(), scale=0.0)
+
+
+def test_weekly_trace_spans_the_week():
+    trace = weekly()
+    week_seconds = 168 * 3600 * SCALE
+    assert trace.duration <= week_seconds
+    assert trace.duration > 0.9 * week_seconds
+
+
+def test_peak_hours_are_busiest():
+    trace = weekly()
+    hour = 3600 * SCALE
+    bins = np.floor(trace.arrival_times / hour).astype(int)
+    counts = np.bincount(bins, minlength=168)
+    hour_of_day = np.arange(len(counts)) % 24
+    day = np.arange(len(counts)) // 24
+    peak_mask = np.isin(hour_of_day, (13, 14, 15)) & (day < 5)
+    night_mask = hour_of_day < 6
+    assert counts[peak_mask].mean() > 2.5 * counts[night_mask].mean()
+
+
+def test_peak_rate_matches_spec():
+    trace = weekly()
+    hour = 3600 * SCALE
+    bins = np.floor(trace.arrival_times / hour).astype(int)
+    counts = np.bincount(bins, minlength=168)
+    peak_mean_interval = hour / counts.max()
+    assert peak_mean_interval == pytest.approx(
+        FINE_GRAIN_SPEC.arrival_interval_mean, rel=0.25
+    )
+
+
+def test_extract_peak_portion_recovers_peak_rate():
+    trace = weekly()
+    peak = extract_peak_portion(trace)
+    assert len(peak) < len(trace)
+    # Peak portion mean interval ~ the spec's (peak-hour) interval.
+    assert peak.interarrival.mean() == pytest.approx(
+        FINE_GRAIN_SPEC.arrival_interval_mean, rel=0.3
+    )
+    # Far denser than the whole-week average.
+    assert peak.interarrival.mean() < 0.7 * trace.interarrival.mean()
+    assert peak.metadata["peak_portion"] is True
+    assert peak.metadata["bins_kept"] <= peak.metadata["bins_total"]
+
+
+def test_peak_portion_keeps_weekday_peak_bins_only():
+    trace = weekly()
+    peak = extract_peak_portion(trace, rate_threshold=0.85)
+    # 5 weekdays x 3 peak hours = 15 candidate bins; weekend/daytime
+    # bins run at <= 0.6 of peak so they must be excluded.
+    assert peak.metadata["bins_kept"] <= 16
+
+
+def test_peak_portion_service_times_preserved():
+    trace = weekly()
+    peak = extract_peak_portion(trace)
+    assert peak.service.mean() == pytest.approx(trace.service.mean(), rel=0.1)
+
+
+def test_extract_validation():
+    trace = weekly()
+    with pytest.raises(ValueError):
+        extract_peak_portion(trace, rate_threshold=0.0)
+    with pytest.raises(ValueError):
+        extract_peak_portion(trace, window=0.0)
+
+
+def test_gaps_nonnegative_after_splicing():
+    peak = extract_peak_portion(weekly())
+    assert (peak.interarrival >= 0).all()
