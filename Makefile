@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,16 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SCALE=0.25 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# CI smoke: tier-1 tests, a ~30s quick figure bench (exercising the
+# sweep engine + result cache), and the heap-vs-calendar engine
+# microbenchmarks recorded to BENCH_engine.json.
+bench-smoke:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m repro fig3 --quick
+	$(PYTHON) -m repro parity --quick
+	$(PYTHON) -m pytest benchmarks/bench_engine_throughput.py --benchmark-only \
+		--benchmark-json=BENCH_engine.json -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -38,4 +48,5 @@ figures:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/output build *.egg-info src/*.egg-info
+	rm -rf .repro-cache BENCH_engine.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

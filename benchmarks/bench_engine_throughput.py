@@ -3,19 +3,31 @@
 These use pytest-benchmark the conventional way (repeated timed rounds)
 and exist to keep the hot path honest — the figure benches above are
 end-to-end and would hide a 2x kernel regression inside noise.
+
+The three scheduler patterns (timer-heavy, self-scheduling chain,
+cancel-heavy) run under **both** event-queue engines, so the calendar
+queue is measured against the heap on every bench run rather than
+trusted from a one-off experiment. Current standing (see DESIGN.md
+"Performance architecture"): the C-implemented ``heapq`` heap wins by
+~1.5-1.7x on all three patterns at these sizes, which is why ``heap``
+remains the default engine.
 """
 
 import numpy as np
+import pytest
 
 from repro.cluster import Request, ServerNode
-from repro.sim import Simulator
+from repro.sim import ENGINES, Simulator, make_simulator
+
+ENGINE_NAMES = sorted(ENGINES)
 
 
-def test_schedule_execute_throughput(benchmark):
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_schedule_execute_throughput(benchmark, engine):
     """Raw schedule+execute cycle for 20k timer events."""
 
     def run():
-        sim = Simulator()
+        sim = make_simulator(engine)
         noop = lambda: None  # noqa: E731
         for i in range(20_000):
             sim.after(i * 1e-6, noop)
@@ -26,11 +38,12 @@ def test_schedule_execute_throughput(benchmark):
     assert events == 20_000
 
 
-def test_event_chain_throughput(benchmark):
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_event_chain_throughput(benchmark, engine):
     """Self-scheduling chain (the arrival-loop pattern)."""
 
     def run():
-        sim = Simulator()
+        sim = make_simulator(engine)
         remaining = [20_000]
 
         def tick():
@@ -45,11 +58,12 @@ def test_event_chain_throughput(benchmark):
     assert benchmark(run) == 20_000
 
 
-def test_cancel_heavy_workload(benchmark):
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_cancel_heavy_workload(benchmark, engine):
     """Half the events cancelled (the timeout-handling pattern)."""
 
     def run():
-        sim = Simulator()
+        sim = make_simulator(engine)
         handles = [sim.after(i * 1e-6, lambda: None) for i in range(20_000)]
         for handle in handles[::2]:
             sim.cancel(handle)

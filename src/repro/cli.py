@@ -10,10 +10,19 @@ Usage::
     python -m repro table2
     python -m repro profile
     python -m repro messages
+    python -m repro parity
     python -m repro list
 
 Figures print the same series the paper plots; ``--requests`` trades
-precision for speed (defaults are publication-sized).
+precision for speed (defaults are publication-sized), ``--quick`` picks
+a small smoke-test size per command.
+
+Sweep commands memoize results in a persistent on-disk cache (default
+``.repro-cache/``, or ``$REPRO_CACHE_DIR``; see
+:mod:`repro.experiments.cache`), so a re-run with unchanged configs
+costs seconds. ``--no-cache`` bypasses it; ``--cache-dir`` relocates
+it. ``--engine {heap,calendar}`` selects the event-queue implementation
+(bit-identical results either way; ``parity`` proves it).
 """
 
 from __future__ import annotations
@@ -26,6 +35,24 @@ from typing import Callable, Optional, Sequence
 from repro.experiments import figures
 
 __all__ = ["main"]
+
+#: per-command --quick request sizes (small but shape-preserving)
+_QUICK_REQUESTS = {
+    "fig2": 30_000,
+    "fig3": 2_000,
+    "fig4": 2_000,
+    "fig6": 2_000,
+    "table2": 3_000,
+    "profile": 3_000,
+    "messages": 2_000,
+    "compare": 600,
+    "parity": 800,
+}
+
+
+def _sweep_kwargs(args) -> dict:
+    """cache/engine keyword arguments for the sweep-driven commands."""
+    return {"cache": args.result_cache, "engine": args.engine}
 
 
 def _table1(args) -> str:
@@ -44,7 +71,8 @@ def _fig2(args) -> str:
 
 def _fig3(args) -> str:
     data = figures.figure3_broadcast(
-        n_requests=args.requests or 20_000, seed=args.seed, parallel=not args.serial
+        n_requests=args.requests or 20_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
     )
     return data.render()
 
@@ -52,21 +80,23 @@ def _fig3(args) -> str:
 def _fig4(args) -> str:
     data = figures.figure4_pollsize(
         n_requests=args.requests or 20_000, seed=args.seed,
-        model="simulation", parallel=not args.serial,
+        model="simulation", parallel=not args.serial, **_sweep_kwargs(args),
     )
     return data.render()
 
 
 def _fig6(args) -> str:
     data = figures.figure6_pollsize(
-        n_requests=args.requests or 15_000, seed=args.seed, parallel=not args.serial
+        n_requests=args.requests or 15_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
     )
     return data.render()
 
 
 def _table2(args) -> str:
     data = figures.table2_discard(
-        n_requests=args.requests or 25_000, seed=args.seed, parallel=not args.serial
+        n_requests=args.requests or 25_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
     )
     return data.render()
 
@@ -85,7 +115,8 @@ def _profile(args) -> str:
 
 def _messages(args) -> str:
     data = figures.message_scaling_section24(
-        n_requests=args.requests or 10_000, seed=args.seed, parallel=not args.serial
+        n_requests=args.requests or 10_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
     )
     return data.render()
 
@@ -97,6 +128,7 @@ def _compare(args) -> str:
     base = SimulationConfig(
         workload=args.workload, load=args.load,
         n_requests=args.requests or 8_000, seed=args.seed,
+        engine=args.engine or "heap",
     )
     comparison = compare_policies(
         base,
@@ -121,6 +153,17 @@ def _compare(args) -> str:
     return "\n".join(lines)
 
 
+def _parity(args) -> str:
+    """Prove heap and calendar engines produce bit-identical results."""
+    from repro.experiments import engine_parity, parity_suite
+
+    suite = parity_suite(n_requests=args.requests or 1_200, seed=args.seed)
+    report = engine_parity(suite, parallel=not args.serial)
+    if not report.ok:
+        raise SystemExit(report.render())
+    return report.render()
+
+
 _COMMANDS: dict[str, tuple[Callable, str]] = {
     "table1": (_table1, "Table 1: trace statistics"),
     "fig2": (_fig2, "Figure 2: load-index inaccuracy vs delay"),
@@ -131,6 +174,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "profile": (_profile, "§3.2 slow-poll profile"),
     "messages": (_messages, "§2.4 message scaling ablation"),
     "compare": (_compare, "policy comparison with confidence intervals"),
+    "parity": (_parity, "heap vs calendar engine determinism check"),
 }
 
 
@@ -144,9 +188,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which artifact to regenerate")
     parser.add_argument("--requests", type=int, default=None,
                         help="requests per simulated point (default: publication size)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test size (overridden by --requests)")
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--serial", action="store_true",
                         help="disable the process-pool sweep")
+    parser.add_argument("--engine", choices=["heap", "calendar"], default=None,
+                        help="event-queue engine (default: heap)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache location (default: .repro-cache "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
     parser.add_argument("--workload", default="poisson_exp",
                         help="workload for `compare` (default: poisson_exp)")
     parser.add_argument("--load", type=float, default=0.9,
@@ -162,11 +215,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, (_fn, description) in _COMMANDS.items():
             print(f"  {name:<10s} {description}")
         return 0
+    if args.quick and args.requests is None:
+        args.requests = _QUICK_REQUESTS.get(args.command)
+    args.result_cache = None
+    if not args.no_cache:
+        from repro.experiments.cache import ResultCache
+
+        args.result_cache = ResultCache(args.cache_dir)
     runner, _description = _COMMANDS[args.command]
     started = time.perf_counter()
     output = runner(args)
     elapsed = time.perf_counter() - started
     print(output)
+    cache = args.result_cache
+    if cache is not None and (cache.hits or cache.misses):
+        print(
+            f"[cache: {cache.hits} hits, {cache.misses} misses "
+            f"-> {str(cache.root)}]"
+        )
     print(f"\n[{args.command} regenerated in {elapsed:.1f}s]")
     return 0
 

@@ -36,7 +36,8 @@ from repro.cluster.server import ServerNode
 from repro.net.latency import ConstantLatency, PAPER_NET, PaperNetworkConstants
 from repro.net.message import Message, MessageKind
 from repro.net.transport import Network
-from repro.sim.engine import EventHandle, SimulationError, Simulator
+from repro.sim.calendar import make_simulator
+from repro.sim.engine import EventHandle, SimulationError
 from repro.sim.rng import RngHub
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -148,6 +149,9 @@ class ServiceCluster:
         experiments); when False (default), membership is static.
     request_timeout / max_retries:
         Client-side loss recovery (used with failures).
+    engine:
+        Event-queue implementation ("heap" or "calendar"); both give
+        bit-identical results (see :mod:`repro.sim.calendar`).
     """
 
     def __init__(
@@ -167,6 +171,7 @@ class ServiceCluster:
         request_timeout: Optional[float] = None,
         max_retries: int = 5,
         server_max_queue: Optional[int] = None,
+        engine: str = "heap",
     ):
         if n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {n_servers}")
@@ -174,7 +179,7 @@ class ServiceCluster:
             raise ValueError(f"n_clients must be >= 1, got {n_clients}")
         if server_speeds is not None and len(server_speeds) != n_servers:
             raise ValueError("server_speeds length must equal n_servers")
-        self.sim = Simulator()
+        self.sim = make_simulator(engine)
         self.rng_hub = RngHub(seed)
         self.constants = constants
         self.overhead = overhead

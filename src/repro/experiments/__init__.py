@@ -29,19 +29,30 @@ from repro.experiments.replication import (
     replicate,
 )
 from repro.experiments.io import load_results, save_results
+from repro.experiments.cache import ResultCache, config_key, default_cache_dir
+from repro.experiments.executor import SweepExecutor, SweepStats
+from repro.experiments.parity import EngineParityReport, engine_parity, parity_suite
 from repro.experiments import figures, regression
 
 __all__ = [
+    "EngineParityReport",
     "ReplicatedResult",
+    "ResultCache",
     "ResultTable",
     "SimulationConfig",
     "SimulationResult",
+    "SweepExecutor",
+    "SweepStats",
     "build_cluster",
     "compare_policies",
+    "config_key",
+    "default_cache_dir",
+    "engine_parity",
     "figures",
     "format_table",
     "load_results",
     "parallel_sweep",
+    "parity_suite",
     "regression",
     "replicate",
     "run_simulation",

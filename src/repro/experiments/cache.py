@@ -1,0 +1,150 @@
+"""Persistent, content-addressed result cache for simulation sweeps.
+
+Every figure/ablation bench re-simulates its whole config grid on every
+invocation, even when only one point changed. This module memoizes
+:class:`~repro.experiments.runner.SimulationResult`s on disk, keyed by
+a stable hash of the full :class:`SimulationConfig` (which includes the
+engine choice), the library version, and the archive schema version —
+so a cached sweep re-run costs file reads, and any change that could
+alter numbers (config field, code release, schema) is automatically a
+miss.
+
+Layout: one JSON file per result under ``<root>/<hash[:2]>/<hash>.json``,
+written in the exact :mod:`repro.experiments.io` archive format (a
+one-record archive), so cached entries are greppable, diffable, and
+loadable with :func:`~repro.experiments.io.load_results` directly.
+
+Writes are atomic (temp file + ``os.replace``), so a cache shared by
+concurrent sweep processes never yields torn reads; the worst case is
+both processes simulating the same config and one overwrite winning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import SimulationResult
+
+__all__ = ["ResultCache", "config_key", "default_cache_dir"]
+
+#: environment variable overriding the default cache location
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Default on-disk cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache``.
+
+    Repo-local by default so a checkout's cache travels with it and
+    ``rm -rf .repro-cache`` is an obvious, safe invalidation hammer.
+    """
+    env = os.environ.get(_CACHE_ENV)
+    return Path(env) if env else Path(".repro-cache")
+
+
+def config_key(config: SimulationConfig) -> str:
+    """Stable content hash identifying a config's cached result.
+
+    Covers every ``SimulationConfig`` field (so policy/workload params,
+    seed, and the ``engine`` choice all key independently) plus the
+    library version and the io schema version. Canonical JSON with
+    sorted keys makes the hash independent of dict insertion order.
+    """
+    from repro import __version__
+    from repro.experiments.io import _SCHEMA_VERSION
+
+    payload = {
+        "config": asdict(config),
+        "library_version": __version__,
+        "schema_version": _SCHEMA_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk memo table from :class:`SimulationConfig` to its result.
+
+    Use via ``parallel_sweep(configs, cache=ResultCache(dir))`` or a
+    :class:`~repro.experiments.executor.SweepExecutor`; both consult
+    the cache before simulating and write back every fresh result.
+
+    Hit/miss/write counters accumulate over the cache object's lifetime
+    (``stats()``) so drivers can report how much work a sweep skipped.
+    """
+
+    def __init__(self, root: Optional[str | Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, config: SimulationConfig) -> Optional[SimulationResult]:
+        """The cached result for ``config``, or ``None`` on a miss.
+
+        Unreadable or stale entries (hash collision, interrupted write
+        predating atomic replace, config drift) count as misses.
+        """
+        from repro.experiments.io import load_results
+
+        path = self._path(config_key(config))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            results = load_results(path)
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        if len(results) != 1 or results[0].config != config:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return results[0]
+
+    def put(self, result: SimulationResult) -> None:
+        """Store ``result`` under its config's key (atomic overwrite)."""
+        from repro.experiments.io import save_results
+
+        path = self._path(config_key(result.config))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        save_results([result], tmp)
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def __contains__(self, config: SimulationConfig) -> bool:
+        return self._path(config_key(config)).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters: ``{"hits": .., "misses": .., "writes": ..}``."""
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultCache root={str(self.root)!r} hits={self.hits} "
+            f"misses={self.misses} writes={self.writes}>"
+        )

@@ -8,6 +8,7 @@ from typing import Any, Optional
 __all__ = ["SimulationConfig"]
 
 _MODELS = ("simulation", "prototype")
+_ENGINES = ("heap", "calendar")
 
 
 @dataclass(frozen=True)
@@ -24,6 +25,11 @@ class SimulationConfig:
     ``full_load_rho`` short-circuits the calibration bisection when the
     caller has already computed it (the sweep drivers do this once per
     workload).
+
+    ``engine`` selects the event-queue implementation ("heap" or
+    "calendar"); both produce bit-identical results, so this is purely
+    a performance knob — but it participates in the result-cache key
+    so engine comparisons never alias each other's cache entries.
     """
 
     policy: str = "polling"
@@ -42,10 +48,13 @@ class SimulationConfig:
     overhead_params: dict[str, Any] = field(default_factory=dict)
     full_load_rho: Optional[float] = None
     label: str = ""
+    engine: str = "heap"
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
             raise ValueError(f"model must be one of {_MODELS}, got {self.model!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")
         if self.n_requests < 10:

@@ -161,10 +161,13 @@ def figure3_broadcast(
     seed: int = 0,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
 ) -> FigureData:
     """Figure 3: broadcast policy, response time normalized to IDEAL.
 
     16 servers; Poisson/Exp uses the paper's 50 ms mean service time.
+    ``cache``/``engine`` pass through to :func:`parallel_sweep`.
     """
     configs: list[SimulationConfig] = []
     keys: list[tuple] = []
@@ -188,7 +191,9 @@ def figure3_broadcast(
                     )
                 )
                 keys.append((load, name, interval))
-    results = parallel_sweep(configs, max_workers=max_workers, parallel=parallel)
+    results = parallel_sweep(
+        configs, max_workers=max_workers, parallel=parallel, cache=cache, engine=engine
+    )
     by_key = dict(zip(keys, results))
     table = ResultTable(
         ["load", "workload", "interval_ms", "response_ms", "normalized_to_ideal"]
@@ -227,6 +232,8 @@ def figure4_pollsize(
     model: str = "simulation",
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
 ) -> FigureData:
     """Figure 4 (simulation) / Figure 6 (prototype): impact of poll size.
 
@@ -259,7 +266,9 @@ def figure4_pollsize(
                     base.with_updates(load=load, policy=policy, policy_params=params)
                 )
                 keys.append((name, load, label))
-    results = parallel_sweep(configs, max_workers=max_workers, parallel=parallel)
+    results = parallel_sweep(
+        configs, max_workers=max_workers, parallel=parallel, cache=cache, engine=engine
+    )
     table = ResultTable(["workload", "load", "policy", "response_ms", "poll_ms"])
     for key, result in zip(keys, results):
         name, load, label = key
@@ -297,6 +306,8 @@ def table2_discard(
     seed: int = 0,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
 ) -> FigureData:
     """Table 2: improvement of discarding slow-responding polls.
 
@@ -329,7 +340,9 @@ def table2_discard(
             )
         )
         keys.append((name, "optimized"))
-    results = parallel_sweep(configs, max_workers=max_workers, parallel=parallel)
+    results = parallel_sweep(
+        configs, max_workers=max_workers, parallel=parallel, cache=cache, engine=engine
+    )
     by_key = dict(zip(keys, results))
     table = ResultTable(
         [
@@ -420,6 +433,8 @@ def message_scaling_section24(
     n_servers: int = 16,
     seed: int = 0,
     parallel: bool = True,
+    cache=None,
+    engine: Optional[str] = None,
 ) -> FigureData:
     """§2.4: messages per request — broadcast scales with the number of
     clients (fan-out), polling does not."""
@@ -444,7 +459,7 @@ def message_scaling_section24(
             base.with_updates(policy="polling", policy_params={"poll_size": poll_size})
         )
         keys.append((n_clients, "polling"))
-    results = parallel_sweep(configs, parallel=parallel)
+    results = parallel_sweep(configs, parallel=parallel, cache=cache, engine=engine)
     table = ResultTable(
         ["n_clients", "policy", "control_messages_per_request", "response_ms"]
     )

@@ -45,9 +45,20 @@ def load_results(path: str | Path) -> list[SimulationResult]:
     """Reload results written by :func:`save_results`."""
     document = json.loads(Path(path).read_text())
     version = document.get("schema_version")
-    if version != _SCHEMA_VERSION:
+    if not isinstance(version, int):
         raise ValueError(
-            f"unsupported results schema {version!r} (expected {_SCHEMA_VERSION})"
+            f"{path}: missing or malformed schema_version {version!r} "
+            f"(expected an integer; is this a repro results archive?)"
+        )
+    if version > _SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: results schema {version} is newer than this library "
+            f"supports ({_SCHEMA_VERSION}); upgrade repro to read this archive"
+        )
+    if version < _SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: results schema {version} predates the supported "
+            f"schema {_SCHEMA_VERSION}; re-run the sweep to regenerate it"
         )
     out = []
     for record in document["results"]:

@@ -1,0 +1,150 @@
+"""Determinism harness: prove the engines order events identically.
+
+The calendar queue (:mod:`repro.sim.calendar`) is only admissible as a
+performance knob if it is *invisible* in the numbers: every simulation
+must produce bit-identical metrics under either engine. This module
+runs a config suite under both engines and compares every result field
+(except the config itself, which legitimately differs in its ``engine``
+tag, and ``wall_seconds``, which is wall-clock noise).
+
+``python -m repro parity`` runs the default suite — a miniature of the
+paper's Figure 3 / Figure 4 grids (broadcast-interval and poll-size
+sweeps over the three evaluation workloads) plus the cancel-heavy
+timeout path — and prints a pass/fail report; it is also asserted in
+``tests/experiments/test_engine_parity.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import SimulationResult, parallel_sweep
+
+__all__ = ["EngineParityReport", "engine_parity", "parity_suite"]
+
+#: result fields that must match bit-for-bit across engines
+COMPARED_FIELDS = tuple(
+    f.name
+    for f in fields(SimulationResult)
+    if f.name not in ("config", "wall_seconds")
+)
+
+
+def parity_suite(
+    n_requests: int = 1_200, seed: int = 0, n_servers: int = 8
+) -> list[SimulationConfig]:
+    """A miniature fig3/fig4 config grid exercising every event pattern.
+
+    Broadcast sweeps stress recurring timers, polling sweeps stress the
+    request/reply chains, ``discard_slow`` and the prototype model
+    stress cancellation and stolen-CPU rescheduling, and the ideal
+    baseline stresses the bare dispatch path.
+    """
+    configs: list[SimulationConfig] = []
+    for workload in ("medium_grain", "poisson_exp", "fine_grain"):
+        base = SimulationConfig(
+            workload=workload,
+            n_servers=n_servers,
+            n_requests=n_requests,
+            seed=seed,
+        )
+        for load in (0.5, 0.9):
+            # fig3 column: broadcast at two announcement frequencies + ideal
+            configs.append(base.with_updates(load=load, policy="ideal"))
+            for interval in (0.01, 0.1):
+                configs.append(
+                    base.with_updates(
+                        load=load,
+                        policy="broadcast",
+                        policy_params={"mean_interval": interval},
+                    )
+                )
+            # fig4 column: random + polling at two poll sizes
+            configs.append(base.with_updates(load=load, policy="random"))
+            for poll_size in (2, 4):
+                configs.append(
+                    base.with_updates(
+                        load=load,
+                        policy="polling",
+                        policy_params={"poll_size": poll_size},
+                    )
+                )
+        # timeout/cancel-heavy path: discarding slow polls, prototype model
+        configs.append(
+            base.with_updates(
+                load=0.9,
+                model="prototype",
+                policy="polling",
+                policy_params={"poll_size": 3, "discard_slow": True},
+            )
+        )
+    return configs
+
+
+@dataclass
+class EngineParityReport:
+    """Outcome of an engine parity run."""
+
+    n_configs: int
+    mismatches: list[tuple[SimulationConfig, str, object, object]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"engine parity: OK — {self.n_configs} configs bit-identical "
+                f"across heap and calendar ({len(COMPARED_FIELDS)} fields each)"
+            )
+        lines = [
+            f"engine parity: FAILED — {len(self.mismatches)} mismatching "
+            f"fields over {self.n_configs} configs"
+        ]
+        for config, name, heap_value, calendar_value in self.mismatches[:20]:
+            lines.append(
+                f"  {config.describe()}: {name} heap={heap_value!r} "
+                f"calendar={calendar_value!r}"
+            )
+        if len(self.mismatches) > 20:
+            lines.append(f"  ... and {len(self.mismatches) - 20} more")
+        return "\n".join(lines)
+
+
+def _values_equal(a: object, b: object) -> bool:
+    """Bit-identity with one carve-out: NaN matches NaN (a policy with
+    no polls reports ``mean_poll_time = nan`` under both engines)."""
+    if a == b:
+        return True
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isnan(a) and math.isnan(b)
+    return False
+
+
+def engine_parity(
+    configs: Optional[Sequence[SimulationConfig]] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> EngineParityReport:
+    """Run ``configs`` under both engines and compare field-for-field."""
+    configs = list(configs) if configs is not None else parity_suite()
+    heap_results = parallel_sweep(
+        configs, parallel=parallel, max_workers=max_workers, engine="heap"
+    )
+    calendar_results = parallel_sweep(
+        configs, parallel=parallel, max_workers=max_workers, engine="calendar"
+    )
+    mismatches = []
+    for config, heap_result, calendar_result in zip(
+        configs, heap_results, calendar_results
+    ):
+        for name in COMPARED_FIELDS:
+            heap_value = getattr(heap_result, name)
+            calendar_value = getattr(calendar_result, name)
+            if not _values_equal(heap_value, calendar_value):
+                mismatches.append((config, name, heap_value, calendar_value))
+    return EngineParityReport(n_configs=len(configs), mismatches=mismatches)

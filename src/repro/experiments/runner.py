@@ -11,10 +11,11 @@ whether a sweep runs serially, in parallel, or reordered.
 from __future__ import annotations
 
 import math
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +27,16 @@ from repro.prototype.overhead import PrototypeOverheadModel
 from repro.sim.rng import RngHub
 from repro.workload.workloads import make_workload
 
-__all__ = ["SimulationResult", "build_cluster", "run_simulation", "parallel_sweep"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.cache import ResultCache
+
+__all__ = [
+    "SimulationResult",
+    "auto_chunksize",
+    "build_cluster",
+    "run_simulation",
+    "parallel_sweep",
+]
 
 #: process-local cache of full-load calibrations keyed by workload identity
 _CALIBRATION_CACHE: dict[tuple, float] = {}
@@ -134,6 +144,7 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         overhead=overhead,
         workers=config.workers,
         server_speeds=list(config.server_speeds) if config.server_speeds else None,
+        engine=config.engine,
     )
     cluster.load_workload(gaps, services)
     return cluster, nominal_rho
@@ -173,30 +184,95 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     )
 
 
-def parallel_sweep(
-    configs: Sequence[SimulationConfig],
-    max_workers: Optional[int] = None,
-    parallel: bool = True,
-) -> list[SimulationResult]:
-    """Run many configurations; results in input order.
+def auto_chunksize(n_configs: int, max_workers: Optional[int] = None) -> int:
+    """Pool chunksize balancing IPC overhead against load imbalance.
 
-    ``parallel=False`` (or a single config) runs serially — results are
-    bit-identical either way.
+    ``len(configs) // (4 * workers)`` gives each worker ~4 chunks, so a
+    straggler chunk costs at most ~25% of one worker's share while
+    pickling overhead is amortized over the chunk.
     """
-    configs = list(configs)
-    if not configs:
-        return []
-    if not parallel or len(configs) == 1:
-        return [run_simulation(config) for config in configs]
-    # Prototype configs without a precomputed full_load_rho would redo
-    # the calibration bisection in every worker; do it once here.
+    workers = max_workers or os.cpu_count() or 1
+    return max(1, n_configs // (4 * workers))
+
+
+def prepare_configs(configs: Sequence[SimulationConfig]) -> list[SimulationConfig]:
+    """Precompute calibrations so workers don't redo them.
+
+    Prototype configs without a precomputed ``full_load_rho`` would
+    redo the calibration bisection in every worker; resolve each one
+    once here (memoized per workload in ``_CALIBRATION_CACHE``).
+    """
     prepared: list[SimulationConfig] = []
     for config in configs:
         if config.model == "prototype" and config.full_load_rho is None:
             config = config.with_updates(full_load_rho=full_load_rho_for(config))
         prepared.append(config)
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(run_simulation, prepared, chunksize=1))
+    return prepared
+
+
+def parallel_sweep(
+    configs: Sequence[SimulationConfig],
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+    cache: Optional["ResultCache"] = None,
+    engine: Optional[str] = None,
+) -> list[SimulationResult]:
+    """Run many configurations; results in input order.
+
+    ``parallel=False`` (or a single config) runs serially — results are
+    bit-identical either way.
+
+    ``cache`` (a :class:`~repro.experiments.cache.ResultCache`) skips
+    configs whose results are already on disk and writes back every
+    fresh result; cached and fresh results are field-for-field
+    identical, so enabling the cache never changes a sweep's output.
+
+    ``engine`` overrides every config's event-queue engine for this
+    sweep (``"heap"``/``"calendar"``); ``None`` leaves configs as-is.
+    """
+    configs = list(configs)
+    if engine is not None:
+        configs = [
+            c if c.engine == engine else c.with_updates(engine=engine)
+            for c in configs
+        ]
+    if not configs:
+        return []
+    # Canonicalize before the cache lookup so the cache key, the config
+    # the worker runs, and the config stored inside the result are all
+    # the same object-value (a prototype config with full_load_rho=None
+    # would otherwise store under its resolved form and never hit).
+    configs = prepare_configs(configs)
+
+    slots: list[Optional[SimulationResult]] = [None] * len(configs)
+    todo_indices = list(range(len(configs)))
+    if cache is not None:
+        todo_indices = []
+        for i, config in enumerate(configs):
+            hit = cache.get(config)
+            if hit is not None:
+                slots[i] = hit
+            else:
+                todo_indices.append(i)
+
+    todo = [configs[i] for i in todo_indices]
+    if todo:
+        if not parallel or len(todo) == 1:
+            fresh = [run_simulation(config) for config in todo]
+        else:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                fresh = list(
+                    pool.map(
+                        run_simulation,
+                        todo,
+                        chunksize=auto_chunksize(len(todo), max_workers),
+                    )
+                )
+        for i, result in zip(todo_indices, fresh):
+            slots[i] = result
+            if cache is not None:
+                cache.put(result)
+    return slots  # type: ignore[return-value]  # every slot is filled
 
 
 def normalized_to_baseline(

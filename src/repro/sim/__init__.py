@@ -5,6 +5,9 @@ part of :mod:`repro`:
 
 - :class:`~repro.sim.engine.Simulator` — a flat binary-heap event
   scheduler with lazy cancellation (the hot path).
+- :class:`~repro.sim.calendar.CalendarSimulator` — a self-resizing
+  calendar-queue scheduler with the same API and bit-identical event
+  ordering; pick one via :func:`~repro.sim.calendar.make_simulator`.
 - :class:`~repro.sim.events.Signal` and combinators — one-shot waitable
   events for the process layer.
 - :class:`~repro.sim.process.Process` — generator-based processes layered
@@ -16,6 +19,7 @@ part of :mod:`repro`:
 """
 
 from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.calendar import CalendarSimulator, DEFAULT_ENGINE, ENGINES, make_simulator
 from repro.sim.events import AllOf, AnyOf, Signal
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
@@ -26,6 +30,9 @@ from repro.sim.tracing import EventTrace, TraceRecord
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarSimulator",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "EventHandle",
     "EventTrace",
     "GrowableArray",
@@ -36,6 +43,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "StepRecorder",
+    "make_simulator",
     "Store",
     "TallyRecorder",
     "TraceRecord",

@@ -1,0 +1,16 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Point the persistent result cache at a per-session temp dir.
+
+    Keeps test runs hermetic (no cross-run cache hits masking a
+    regression in the simulation path) and keeps ``.repro-cache/`` out
+    of the working tree when the suite exercises the CLI.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.getbasetemp() / "repro-cache")
+    )

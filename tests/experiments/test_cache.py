@@ -1,0 +1,143 @@
+"""Tests for the persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments import SimulationConfig, parallel_sweep, run_simulation
+from repro.experiments.cache import ResultCache, config_key
+
+
+def small(**kwargs):
+    defaults = dict(
+        policy="random", workload="poisson_exp", load=0.7,
+        n_servers=2, n_requests=300, seed=5,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+# ----------------------------------------------------------------------
+# keying
+# ----------------------------------------------------------------------
+
+def test_key_is_stable_and_deterministic():
+    assert config_key(small()) == config_key(small())
+
+
+def test_key_covers_every_config_field():
+    base = config_key(small())
+    assert config_key(small(seed=6)) != base
+    assert config_key(small(load=0.8)) != base
+    assert config_key(small(policy="round_robin")) != base
+    assert config_key(small(engine="calendar")) != base
+    assert config_key(small(policy_params={"poll_size": 2},
+                            policy="polling")) != base
+
+
+def test_key_changes_with_library_version(monkeypatch):
+    base = config_key(small())
+    import repro
+
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert config_key(small()) != base
+
+
+# ----------------------------------------------------------------------
+# get/put
+# ----------------------------------------------------------------------
+
+def test_miss_then_hit_roundtrip(cache):
+    config = small()
+    assert cache.get(config) is None
+    result = run_simulation(config)
+    cache.put(result)
+    assert config in cache
+    restored = cache.get(config)
+    assert restored == result  # field-for-field, frozen dataclass equality
+    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    config = small()
+    cache.put(run_simulation(config))
+    path = cache._path(config_key(config))
+    path.write_text("{ not json")
+    assert cache.get(config) is None
+
+
+def test_wrong_schema_entry_is_a_miss(cache):
+    config = small()
+    cache.put(run_simulation(config))
+    path = cache._path(config_key(config))
+    document = json.loads(path.read_text())
+    document["schema_version"] = 99
+    path.write_text(json.dumps(document))
+    assert cache.get(config) is None
+
+
+def test_len_and_clear(cache):
+    assert len(cache) == 0
+    for seed in (1, 2, 3):
+        cache.put(run_simulation(small(seed=seed)))
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# parallel_sweep integration
+# ----------------------------------------------------------------------
+
+def test_sweep_cache_skips_simulation(cache):
+    configs = [small(seed=s) for s in range(4)]
+    cold = parallel_sweep(configs, parallel=False, cache=cache)
+    assert cache.writes == 4
+    warm = parallel_sweep(configs, parallel=False, cache=cache)
+    assert cache.hits == 4 and cache.writes == 4  # nothing re-simulated
+    assert warm == cold
+
+
+def test_sweep_cache_partial_hit(cache):
+    configs = [small(seed=s) for s in range(4)]
+    parallel_sweep(configs[:2], parallel=False, cache=cache)
+    results = parallel_sweep(configs, parallel=False, cache=cache)
+    assert cache.hits == 2 and cache.writes == 4
+    # input order preserved across the hit/miss split
+    assert [r.config.seed for r in results] == [0, 1, 2, 3]
+
+
+def test_cached_results_match_fresh(cache):
+    configs = [small(seed=s) for s in (1, 2)]
+    fresh = parallel_sweep(configs, parallel=False)
+    parallel_sweep(configs, parallel=False, cache=cache)
+    cached = parallel_sweep(configs, parallel=False, cache=cache)
+    for f, c in zip(fresh, cached):
+        # wall_seconds is wall-clock noise; everything else identical
+        assert f.mean_response_time == c.mean_response_time
+        assert f.server_counts == c.server_counts
+        assert f.message_counts == c.message_counts
+        assert f.config == c.config
+
+
+def test_engine_override_keys_separately(cache):
+    configs = [small(seed=1)]
+    parallel_sweep(configs, parallel=False, cache=cache, engine="heap")
+    parallel_sweep(configs, parallel=False, cache=cache, engine="calendar")
+    assert cache.writes == 2  # engines never alias each other's entries
+    assert cache.hits == 0
+
+
+def test_prototype_config_hits_despite_calibration(cache):
+    """full_load_rho resolution happens before keying, so a prototype
+    config with full_load_rho=None still hits on re-run."""
+    config = small(model="prototype", n_requests=300)
+    assert config.full_load_rho is None
+    parallel_sweep([config], parallel=False, cache=cache)
+    parallel_sweep([config], parallel=False, cache=cache)
+    assert cache.hits == 1 and cache.writes == 1

@@ -1,0 +1,79 @@
+"""Determinism harness: heap and calendar engines must agree bit-for-bit.
+
+This is the acceptance gate for the calendar queue: a miniature of the
+paper's fig3/fig4 config grids runs under both engines and every result
+field must be identical. Any divergence means the calendar queue
+reordered events — an automatic failure, however small the numeric
+difference.
+"""
+
+import pytest
+
+from repro.experiments import (
+    SimulationConfig,
+    engine_parity,
+    parity_suite,
+    run_simulation,
+)
+from repro.experiments.parity import COMPARED_FIELDS, _values_equal
+
+
+def test_compared_fields_cover_the_result():
+    assert "mean_response_time" in COMPARED_FIELDS
+    assert "events_executed" in COMPARED_FIELDS
+    assert "server_counts" in COMPARED_FIELDS
+    assert "config" not in COMPARED_FIELDS  # differs by engine tag
+    assert "wall_seconds" not in COMPARED_FIELDS  # wall-clock noise
+
+
+def test_values_equal_handles_nan():
+    assert _values_equal(float("nan"), float("nan"))
+    assert _values_equal(1.0, 1.0)
+    assert not _values_equal(1.0, float("nan"))
+    assert not _values_equal(1.0, 2.0)
+
+
+def test_parity_suite_shape():
+    suite = parity_suite(n_requests=400)
+    assert len(suite) >= 20
+    policies = {c.policy for c in suite}
+    assert {"broadcast", "polling", "random", "ideal"} <= policies
+    assert any(c.model == "prototype" for c in suite)  # cancel-heavy path
+    assert any(c.policy_params.get("discard_slow") for c in suite)
+
+
+def test_single_config_bit_identical():
+    config = SimulationConfig(
+        policy="polling", policy_params={"poll_size": 2},
+        load=0.85, n_servers=4, n_requests=800, seed=11,
+    )
+    heap = run_simulation(config.with_updates(engine="heap"))
+    calendar = run_simulation(config.with_updates(engine="calendar"))
+    for name in COMPARED_FIELDS:
+        assert _values_equal(getattr(heap, name), getattr(calendar, name)), name
+
+
+@pytest.mark.slow
+def test_fig_suite_parity():
+    """The full miniature fig3/fig4 grid under both engines."""
+    report = engine_parity(parity_suite(n_requests=600), parallel=True)
+    assert report.ok, report.render()
+    assert "OK" in report.render()
+
+
+def test_parity_small_serial():
+    """A fast serial subset, run on every test invocation."""
+    report = engine_parity(parity_suite(n_requests=300)[:5], parallel=False)
+    assert report.ok, report.render()
+
+
+def test_report_renders_mismatches():
+    from repro.experiments import EngineParityReport
+
+    config = SimulationConfig(n_requests=100)
+    report = EngineParityReport(
+        n_configs=1, mismatches=[(config, "events_executed", 10, 11)]
+    )
+    assert not report.ok
+    text = report.render()
+    assert "FAILED" in text and "events_executed" in text

@@ -36,11 +36,47 @@ def test_json_is_valid_and_versioned(results, tmp_path):
     assert document["results"][0]["config"]["policy"] == "random"
 
 
-def test_unsupported_schema_rejected(tmp_path):
-    path = tmp_path / "bad.json"
+def test_newer_schema_rejected_with_clear_error(tmp_path):
+    """An archive from a future library version must fail loudly, not
+    silently parse into garbage."""
+    path = tmp_path / "future.json"
     path.write_text(json.dumps({"schema_version": 99, "results": []}))
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="newer than this library"):
         load_results(path)
+
+
+def test_older_schema_rejected(tmp_path):
+    path = tmp_path / "ancient.json"
+    path.write_text(json.dumps({"schema_version": 0, "results": []}))
+    with pytest.raises(ValueError, match="predates"):
+        load_results(path)
+
+
+def test_missing_schema_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"results": []}))
+    with pytest.raises(ValueError, match="missing or malformed"):
+        load_results(path)
+
+
+def test_save_then_load_results_equal(results, tmp_path):
+    """Explicit round-trip contract: save -> load -> equal results."""
+    path = tmp_path / "roundtrip.json"
+    save_results(results, path)
+    restored = load_results(path)
+    assert restored == list(results)
+    assert load_results(path) == restored  # loading is repeatable
+
+
+def test_engine_field_roundtrip(tmp_path):
+    config = SimulationConfig(policy="random", n_servers=2, n_requests=100,
+                              load=0.4, engine="calendar")
+    result = run_simulation(config)
+    path = tmp_path / "engine.json"
+    save_results([result], path)
+    restored = load_results(path)[0]
+    assert restored.config.engine == "calendar"
+    assert restored == result
 
 
 def test_server_speeds_tuple_roundtrip(tmp_path):

@@ -52,8 +52,65 @@ def test_profile_command_small(capsys):
 
 def test_compare_command_small(capsys):
     assert main(["compare", "--requests", "600", "--replications", "2",
-                 "--serial", "--load", "0.8"]) == 0
+                 "--serial", "--load", "0.8", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "ideal" in out and "±" in out
     # Sorted ascending: the oracle line comes before random's.
     assert out.index("ideal") < out.index("random")
+
+
+def test_parser_engine_and_cache_flags():
+    parser = build_parser()
+    args = parser.parse_args(["fig3", "--engine", "calendar",
+                              "--cache-dir", "/tmp/x", "--no-cache", "--quick"])
+    assert args.engine == "calendar"
+    assert args.cache_dir == "/tmp/x"
+    assert args.no_cache and args.quick
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig3", "--engine", "splay"])
+
+
+def test_quick_sets_default_requests_only(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["fig4", "--quick", "--requests", "800", "--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out  # --requests wins over --quick
+
+
+def test_cache_round_trip_via_cli(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["fig4", "--requests", "600", "--serial"]) == 0
+    first = capsys.readouterr().out
+    assert "cache: 0 hits" in first
+    assert main(["fig4", "--requests", "600", "--serial"]) == 0
+    second = capsys.readouterr().out
+    assert "0 misses" in second  # fully served from the cache
+    # identical table either way
+    table = lambda s: [l for l in s.splitlines() if "poll-" in l]  # noqa: E731
+    assert table(first) == table(second)
+
+
+def test_no_cache_flag_disables_cache(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["fig4", "--requests", "600", "--serial", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cache:" not in out
+    assert not any(tmp_path.iterdir())
+
+
+def test_engine_flag_changes_nothing_numerically(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    outputs = []
+    for engine in ("heap", "calendar"):
+        assert main(["fig4", "--requests", "600", "--serial",
+                     "--no-cache", "--engine", engine]) == 0
+        out = capsys.readouterr().out
+        outputs.append([l for l in out.splitlines() if "poll-" in l])
+    assert outputs[0] == outputs[1]
+
+
+def test_parity_command_small(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["parity", "--requests", "300", "--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "engine parity: OK" in out
