@@ -216,7 +216,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:<10s} {description}")
         return 0
     if args.quick and args.requests is None:
-        args.requests = _QUICK_REQUESTS.get(args.command)
+        if args.command in _QUICK_REQUESTS:
+            args.requests = _QUICK_REQUESTS[args.command]
+        else:
+            print(
+                f"[--quick has no preset for {args.command!r}; "
+                "running at the publication size]",
+                file=sys.stderr,
+            )
     args.result_cache = None
     if not args.no_cache:
         from repro.experiments.cache import ResultCache

@@ -131,12 +131,20 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry; returns the number removed.
+
+        Also sweeps ``*.tmp.*`` orphans left by a writer that died
+        between writing its temp file and the atomic rename (these are
+        invisible to ``__len__``/``get`` and would otherwise accumulate
+        forever); orphans are not counted in the return value.
+        """
         removed = 0
         if self.root.exists():
             for path in self.root.glob("*/*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.root.glob("*/*.tmp.*"):
+                path.unlink(missing_ok=True)
         return removed
 
     def stats(self) -> dict[str, int]:

@@ -267,12 +267,17 @@ class CalendarSimulator:
                 break
             if entry[0] > limit:
                 # Went past the horizon: put the entry back untouched
-                # ((time, seq) unchanged, so ordering is preserved).
+                # ((time, seq) unchanged, so ordering is preserved) and
+                # rewind the cursor, which _pop_next advanced to the far
+                # event's day — events scheduled after this run() at
+                # earlier times land in buckets behind that day and must
+                # still fire first.
                 heapq.heappush(
                     self._buckets[int(entry[0] / self._width) % self._n_buckets],
                     entry,
                 )
                 self._qsize += 1
+                self._day = int(self._now / self._width)
                 break
             handle = entry[2]
             self._pending -= 1

@@ -90,6 +90,19 @@ def test_len_and_clear(cache):
     assert len(cache) == 0
 
 
+def test_clear_sweeps_orphaned_tmp_files(cache):
+    """A writer dying before os.replace leaves a <hash>.tmp.<pid> file;
+    clear() removes it without counting it as an entry."""
+    cache.put(run_simulation(small()))
+    orphan = cache.root / "ab" / ("c" * 64 + ".tmp.12345")
+    orphan.parent.mkdir(parents=True, exist_ok=True)
+    orphan.write_text("{partial")
+    assert len(cache) == 1  # orphan invisible to the entry count
+    assert cache.clear() == 1
+    assert not orphan.exists()
+    assert not list(cache.root.glob("*/*"))
+
+
 # ----------------------------------------------------------------------
 # parallel_sweep integration
 # ----------------------------------------------------------------------

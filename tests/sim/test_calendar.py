@@ -121,6 +121,50 @@ def test_run_until_leaves_future_events_intact(sim):
     assert fired == ["far", "far2"]
 
 
+def test_schedule_earlier_after_bounded_run(sim):
+    """run(until=) that defers a far event must not strand later-scheduled
+    earlier events behind the dequeue cursor (regression: the calendar
+    cursor stayed at the far event's day, firing [a, far, b] with the
+    clock running backwards from 0.01 to 0.003)."""
+    fired = []
+    sim.at(0.0005, fired.append, "a")
+    sim.at(0.01, fired.append, "far")
+    sim.run(until=0.001)
+    assert fired == ["a"]
+    assert sim.now == 0.001
+    sim.at(0.003, fired.append, "b")
+    times = []
+    sim.trace = lambda t, handle: times.append(t)
+    sim.run()
+    assert fired == ["a", "b", "far"]
+    assert times == sorted(times)  # time is monotone
+    assert sim.now == 0.01
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_schedule_between_bounded_runs_matches_heap(seed):
+    """Interleaving run(until=) with fresh earlier scheduling — the
+    bounded-run-then-schedule pattern the cluster tests use — fires in
+    the same order on both engines."""
+    outputs = []
+    for engine in ENGINE_NAMES:
+        sim = make_simulator(engine)
+        rng = random.Random(seed)
+        fired = []
+        sim.at(100.0, fired.append, "sentinel")  # stays deferred throughout
+        for chunk in range(20):
+            sim.run(until=0.25 * (chunk + 1))
+            for i in range(10):
+                sim.at(
+                    round(sim.now + rng.uniform(0.0, 2.0), 3),
+                    fired.append,
+                    (chunk, i),
+                )
+        sim.run()
+        outputs.append(fired)
+    assert outputs[0] == outputs[1]
+
+
 def test_max_events_budget(sim):
     fired = []
     for i in range(10):

@@ -77,6 +77,15 @@ def test_quick_sets_default_requests_only(tmp_path, capsys, monkeypatch):
     assert "Figure 4" in out  # --requests wins over --quick
 
 
+def test_quick_without_preset_warns(capsys):
+    """--quick on a command with no preset size says so instead of
+    silently running at the publication size."""
+    assert main(["table1", "--quick", "--no-cache"]) == 0
+    captured = capsys.readouterr()
+    assert "no preset for 'table1'" in captured.err
+    assert "Table 1" in captured.out  # command still runs
+
+
 def test_cache_round_trip_via_cli(tmp_path, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     assert main(["fig4", "--requests", "600", "--serial"]) == 0
