@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,12 @@ bench-smoke:
 	$(PYTHON) -m repro parity --quick
 	$(PYTHON) -m pytest benchmarks/bench_engine_throughput.py --benchmark-only \
 		--benchmark-json=BENCH_engine.json -q
+
+# Tiny fixed-seed chaos campaign; the second invocation must be served
+# entirely from the result cache with bit-identical output.
+chaos-smoke:
+	$(PYTHON) -m repro chaos --quick --seed 0
+	$(PYTHON) -m repro chaos --quick --seed 0
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -11,6 +11,7 @@ Usage::
     python -m repro profile
     python -m repro messages
     python -m repro parity
+    python -m repro chaos --quick
     python -m repro list
 
 Figures print the same series the paper plots; ``--requests`` trades
@@ -47,6 +48,7 @@ _QUICK_REQUESTS = {
     "messages": 2_000,
     "compare": 600,
     "parity": 800,
+    "chaos": 600,
 }
 
 
@@ -153,6 +155,15 @@ def _compare(args) -> str:
     return "\n".join(lines)
 
 
+def _chaos(args) -> str:
+    """Chaos campaign: resilience report under scaled fault intensity."""
+    data = figures.chaos_resilience(
+        n_requests=args.requests or 6_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
+    )
+    return data.render()
+
+
 def _parity(args) -> str:
     """Prove heap and calendar engines produce bit-identical results."""
     from repro.experiments import engine_parity, parity_suite
@@ -175,6 +186,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "messages": (_messages, "§2.4 message scaling ablation"),
     "compare": (_compare, "policy comparison with confidence intervals"),
     "parity": (_parity, "heap vs calendar engine determinism check"),
+    "chaos": (_chaos, "chaos campaign: resilience under injected faults"),
 }
 
 

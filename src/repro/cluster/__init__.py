@@ -28,7 +28,12 @@ from repro.cluster.availability import (
     ServiceMappingTable,
     ServicePublisher,
 )
-from repro.cluster.failures import FailureInjector
+from repro.cluster.failures import (
+    ChaosInjector,
+    ChaosSpec,
+    FailureInjector,
+    resilience_counters,
+)
 from repro.cluster.system import ClusterMetrics, ServiceCluster
 
 __all__ = [
@@ -39,8 +44,11 @@ __all__ = [
     "ClientNode",
     "call",
     "compute",
+    "ChaosInjector",
+    "ChaosSpec",
     "ClusterMetrics",
     "FailureInjector",
+    "resilience_counters",
     "PartitionMap",
     "Request",
     "ServerNode",

@@ -1,24 +1,41 @@
-"""Failure injection: transient server crashes and recoveries.
+"""Failure injection: crashes, stragglers, partitions, message chaos.
 
 The paper's architecture claim (§3.1) is that the flat, soft-state
 design "allows the service infrastructure to operate smoothly in the
 presence of transient failures and service evolution". This module
-makes that claim testable: crash a server at a chosen time (it goes
-network-silent and drops its queue), recover it later, and verify that
-clients route around the failure via mapping-table expiry plus request
-retries.
+makes that claim testable, at two levels:
+
+- :class:`FailureInjector` — the original clean-failure tool: crash a
+  server at a chosen time (it goes network-silent and drops its queue),
+  recover it later, and verify that clients route around the failure
+  via mapping-table expiry plus request retries.
+- :class:`ChaosInjector` — the campaign tool: on top of crashes it
+  injects *stragglers* (a server's service rate degraded by a factor
+  for an interval), *crash storms* (correlated multi-node crashes),
+  and *partition schedules* (timed bidirectional cuts), and installs a
+  :class:`~repro.net.faults.NetworkFaults` for message loss,
+  duplication, and jitter. Every random decision flows through named
+  cluster substreams (``chaos.net``, ``chaos.schedule``) so a chaos
+  run is bit-identical at a fixed seed under both event engines.
+
+:func:`resilience_counters` condenses a finished chaos run into the
+flat ``{name: float}`` dict the experiment layer archives.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Iterable, Optional
 
+import numpy as np
+
+from repro.net.faults import NetworkFaults, PartitionPair
 from repro.net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.cluster.system import ServiceCluster
+    from repro.cluster.system import ClusterMetrics, ServiceCluster
 
-__all__ = ["FailureInjector"]
+__all__ = ["FailureInjector", "ChaosSpec", "ChaosInjector", "resilience_counters"]
 
 
 class FailureInjector:
@@ -28,7 +45,15 @@ class FailureInjector:
         self.cluster = cluster
         self.dead: set[int] = set()
         self.crash_log: list[tuple[float, int, str]] = []
-        cluster.network.drop_filter = self._drop_if_dead
+        # Compose with (never clobber) any filter already installed —
+        # a message is dropped when *either* filter says so.
+        previous = cluster.network.drop_filter
+        if previous is None:
+            cluster.network.drop_filter = self._drop_if_dead
+        else:
+            cluster.network.drop_filter = (
+                lambda message: previous(message) or self._drop_if_dead(message)
+            )
 
     def _drop_if_dead(self, message: Message) -> bool:
         return message.src in self.dead or message.dst in self.dead
@@ -69,3 +94,244 @@ class FailureInjector:
         publisher = cluster.publishers.get(node_id)
         if publisher is not None:
             publisher.start()
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative chaos intensity knobs (all JSON-native scalars).
+
+    The spec is deliberately *declarative* — counts and fractions, not
+    concrete times or node ids — so it can live inside a
+    :class:`~repro.experiments.config.SimulationConfig` and participate
+    in the content-addressed result cache. The concrete schedule
+    (which nodes, when) is derived deterministically from the cluster's
+    ``chaos.schedule`` RNG substream at install time.
+
+    Message-level faults (applied for the whole run):
+
+    - ``loss`` / ``duplicate`` — per-message probabilities;
+    - ``jitter_mean`` — mean extra exponential one-way delay (seconds).
+
+    Scheduled events (start times uniform in the middle of the run):
+
+    - ``stragglers`` servers have their service rate divided by
+      ``straggle_factor`` for ``straggle_frac`` of the workload horizon;
+    - ``partitions`` timed cuts isolate ``partition_servers`` servers
+      from everyone else for ``partition_frac`` of the horizon;
+    - ``storms`` correlated crash events take ``storm_size`` servers
+      down simultaneously, recovering after ``storm_frac`` of the
+      horizon.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    jitter_mean: float = 0.0
+    stragglers: int = 0
+    straggle_factor: float = 4.0
+    straggle_frac: float = 0.25
+    partitions: int = 0
+    partition_frac: float = 0.12
+    partition_servers: int = 1
+    storms: int = 0
+    storm_size: int = 2
+    storm_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise ValueError(f"duplicate must be in [0, 1], got {self.duplicate}")
+        if self.jitter_mean < 0:
+            raise ValueError(f"jitter_mean must be >= 0, got {self.jitter_mean}")
+        if self.straggle_factor <= 0:
+            raise ValueError(f"straggle_factor must be > 0, got {self.straggle_factor}")
+        for name in ("stragglers", "partitions", "partition_servers", "storms", "storm_size"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("straggle_frac", "partition_frac", "storm_frac"):
+            if not 0.0 < getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {getattr(self, name)}")
+
+    @classmethod
+    def field_names(cls) -> frozenset:
+        """The set of knob names (used to validate config dicts)."""
+        return frozenset(f.name for f in fields(cls))
+
+
+class ChaosInjector(FailureInjector):
+    """Drives a full chaos campaign against one cluster run.
+
+    Construction installs a :class:`NetworkFaults` on the cluster's
+    network (sharing this injector's live ``dead`` set, so in-flight
+    messages to crashing nodes are swallowed) and — when a ``spec`` is
+    given — derives the whole event schedule from the cluster's
+    ``chaos.schedule`` substream. The workload must already be loaded
+    (the schedule scales with the arrival horizon).
+
+    Every scheduled event is recorded in :attr:`events` as
+    ``(kind, start_time)``; the recovery-time metric is computed against
+    these start times after the run.
+    """
+
+    def __init__(self, cluster: "ServiceCluster", spec: Optional[ChaosSpec] = None):
+        super().__init__(cluster)
+        spec = spec if spec is not None else ChaosSpec()
+        self.spec = spec
+        self.faults = NetworkFaults(
+            cluster.rng_hub.stream("chaos.net"),
+            loss=spec.loss,
+            duplicate=spec.duplicate,
+            jitter_mean=spec.jitter_mean,
+            unreachable=self.dead,
+        )
+        cluster.network.faults = self.faults
+        #: (kind, start_time) for every scheduled chaos event
+        self.events: list[tuple[str, float]] = []
+        #: human-readable event log, appended as events execute
+        self.chaos_log: list[tuple[float, str, str]] = []
+        self._schedule(spec)
+
+    # ------------------------------------------------------------------
+    # schedule derivation
+    # ------------------------------------------------------------------
+    def _schedule(self, spec: ChaosSpec) -> None:
+        if spec.stragglers == 0 and spec.partitions == 0 and spec.storms == 0:
+            return
+        cluster = self.cluster
+        if cluster._arrival_times is None:  # noqa: SLF001 - lifecycle check
+            raise ValueError(
+                "ChaosInjector with scheduled events requires load_workload() first "
+                "(the event schedule scales with the arrival horizon)"
+            )
+        horizon = float(cluster._arrival_times[-1])  # noqa: SLF001
+        rng = cluster.rng_hub.stream("chaos.schedule")
+        n = cluster.n_servers
+
+        def start_time() -> float:
+            # Events start in the middle of the run so the warmup slice
+            # stays clean and there is workload left to recover into.
+            return float(rng.uniform(0.05, 0.7)) * horizon
+
+        for _ in range(spec.stragglers):
+            node = int(rng.integers(0, n))
+            at = start_time()
+            self.schedule_straggle(node, at, spec.straggle_frac * horizon, spec.straggle_factor)
+        for _ in range(spec.partitions):
+            k = min(max(1, spec.partition_servers), n - 1)
+            isolated = sorted(int(i) for i in rng.choice(n, size=k, replace=False))
+            everyone_else = [i for i in range(n) if i not in isolated] + [
+                client.node_id for client in cluster.clients
+            ]
+            at = start_time()
+            self.schedule_partition(isolated, everyone_else, at, spec.partition_frac * horizon)
+        for _ in range(spec.storms):
+            k = min(max(1, spec.storm_size), n - 1)
+            victims = sorted(int(i) for i in rng.choice(n, size=k, replace=False))
+            at = start_time()
+            self.events.append(("storm", at))
+            for node in victims:
+                self.schedule_crash(node, at)
+                self.schedule_recovery(node, at + spec.storm_frac * horizon)
+
+    # ------------------------------------------------------------------
+    # event primitives (also usable directly by tests)
+    # ------------------------------------------------------------------
+    def schedule_straggle(
+        self, node_id: int, at: float, duration: float, factor: float
+    ) -> None:
+        """Divide server ``node_id``'s speed by ``factor`` over
+        ``[at, at + duration)``; multiplicative, so overlaps compose."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self.events.append(("straggle", at))
+        self.cluster.sim.at(at, self._straggle_start, (node_id, factor))
+        self.cluster.sim.at(at + duration, self._straggle_end, (node_id, factor))
+
+    def _straggle_start(self, arg: tuple[int, float]) -> None:
+        node_id, factor = arg
+        server = self.cluster.servers[node_id]
+        server.set_speed(server.speed / factor)
+        self.chaos_log.append((self.cluster.sim.now, "straggle_start", f"server {node_id}"))
+
+    def _straggle_end(self, arg: tuple[int, float]) -> None:
+        node_id, factor = arg
+        server = self.cluster.servers[node_id]
+        server.set_speed(server.speed * factor)
+        self.chaos_log.append((self.cluster.sim.now, "straggle_end", f"server {node_id}"))
+
+    def schedule_partition(
+        self,
+        group_a: Iterable[int],
+        group_b: Iterable[int],
+        at: float,
+        duration: float,
+    ) -> None:
+        """Sever ``group_a`` from ``group_b`` over ``[at, at + duration)``.
+
+        Messages crossing the cut are dropped at send time; messages
+        already in flight when the cut activates are dropped at
+        delivery time.
+        """
+        pair = (frozenset(int(n) for n in group_a), frozenset(int(n) for n in group_b))
+        self.events.append(("partition", at))
+        self.cluster.sim.at(at, self._partition_start, pair)
+        self.cluster.sim.at(at + duration, self._partition_end, pair)
+
+    def _partition_start(self, pair: PartitionPair) -> None:
+        self.faults.add_partition(pair[0], pair[1])
+        self.chaos_log.append(
+            (self.cluster.sim.now, "partition_start", f"isolated {sorted(pair[0])}")
+        )
+
+    def _partition_end(self, pair: PartitionPair) -> None:
+        self.faults.remove_partition(pair)
+        self.chaos_log.append(
+            (self.cluster.sim.now, "partition_end", f"healed {sorted(pair[0])}")
+        )
+
+    def _crash(self, node_id: int) -> None:  # extend the log, keep semantics
+        super()._crash(node_id)
+        self.chaos_log.append((self.cluster.sim.now, "crash", f"server {node_id}"))
+
+    def _recover(self, node_id: int) -> None:
+        super()._recover(node_id)
+        self.chaos_log.append((self.cluster.sim.now, "recover", f"server {node_id}"))
+
+
+def resilience_counters(
+    injector: "ChaosInjector", metrics: "ClusterMetrics"
+) -> dict[str, float]:
+    """Condense a finished chaos run into archive-ready counters.
+
+    Recovery time per chaos event = backlog drain time: for an event
+    starting at ``t``, the largest ``completion - t`` over completed
+    requests that arrived at or before ``t`` but completed after it
+    (0 when no request straddles the event).
+    """
+    cluster = injector.cluster
+    faults = injector.faults
+    counters: dict[str, float] = {
+        "messages_lost": float(faults.total_lost()),
+        "messages_duplicated": float(faults.total_duplicated()),
+        "messages_partition_dropped": float(faults.total_partition_dropped()),
+        "request_timeouts_fired": float(cluster.request_timeouts_fired),
+        "duplicate_deliveries_ignored": float(cluster.duplicate_deliveries_ignored),
+        "stale_responses_ignored": float(cluster.stale_responses_ignored),
+        "total_retries": float(int(metrics.retries.sum())),
+        "requests_lost": float(int(metrics.failed.sum())),
+        "n_chaos_events": float(len(injector.events)),
+    }
+    completed = np.isfinite(metrics.response_time) & ~metrics.failed
+    arrivals = metrics.arrival_time[completed]
+    completions = arrivals + metrics.response_time[completed]
+    recoveries = []
+    for _, start in injector.events:
+        straddling = (arrivals <= start) & (completions > start)
+        recoveries.append(
+            float((completions[straddling] - start).max()) if straddling.any() else 0.0
+        )
+    # 0.0 (not NaN) when no events: these dicts are compared by value in
+    # the parity harness and regression tests, where NaN != NaN.
+    counters["recovery_mean_s"] = float(np.mean(recoveries)) if recoveries else 0.0
+    counters["recovery_max_s"] = float(np.max(recoveries)) if recoveries else 0.0
+    return counters

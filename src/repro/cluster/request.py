@@ -37,6 +37,8 @@ class Request:
         "server_id",
         "retries",
         "failed",
+        "done",
+        "queued_at",
     )
 
     def __init__(self, index: int, client_id: int, service_time: float, arrival_time: float):
@@ -52,6 +54,14 @@ class Request:
         self.server_id = -1
         self.retries = 0
         self.failed = False
+        #: terminal flag: set once on the first completion or terminal
+        #: failure; later (duplicated/stale) deliveries of the same
+        #: request are discarded against it
+        self.done = False
+        #: node id of the server currently holding the request (queued
+        #: or in service), -1 otherwise; guards against the same request
+        #: occupying two queues at once under duplication/timeout races
+        self.queued_at = -1
 
     @property
     def poll_time(self) -> float:

@@ -113,6 +113,7 @@ class ServerNode:
             return False
         request.enqueue_time = self.sim.now
         request.server_id = self.node_id
+        request.queued_at = self.node_id
         if len(self.in_service) < self.workers:
             self._start(request)
         else:
@@ -130,6 +131,7 @@ class ServerNode:
         del self.in_service[request.index]
         del self._completion_handles[request.index]
         request.completion_time = self.sim.now
+        request.queued_at = -1
         self.completed_count += 1
         if self.queue:
             self._start(self.queue.popleft())
@@ -159,6 +161,32 @@ class ServerNode:
                 handle.time + cost, self._complete, handle.arg
             )
 
+    def set_speed(self, speed: float) -> None:
+        """Change the service rate mid-run (chaos straggler injection).
+
+        In-flight completions are rescheduled so the *remaining* work of
+        each request finishes at the new rate: ``remaining' = remaining
+        × old_speed / new_speed``. Queued requests are unaffected until
+        they start (their full service time is then divided by the
+        speed in effect, as always). Multiplicative changes compose, so
+        overlapping straggle intervals stack and unwind cleanly.
+        """
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0, got {speed}")
+        if speed == self.speed:
+            return
+        ratio = self.speed / speed
+        self.speed = speed
+        if not self._completion_handles:
+            return
+        sim = self.sim
+        now = sim.now
+        for index, handle in list(self._completion_handles.items()):
+            sim.cancel(handle)
+            self._completion_handles[index] = sim.at(
+                now + (handle.time - now) * ratio, self._complete, handle.arg
+            )
+
     # ------------------------------------------------------------------
     def drain(self) -> list[Request]:
         """Remove and return all queued and in-service requests (crash).
@@ -167,6 +195,8 @@ class ServerNode:
         injector) decide what happens to the drained requests.
         """
         dropped = list(self.in_service.values()) + list(self.queue)
+        for request in dropped:
+            request.queued_at = -1
         for handle in self._completion_handles.values():
             self.sim.cancel(handle)
         self._completion_handles.clear()

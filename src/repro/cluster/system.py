@@ -109,6 +109,7 @@ class ClusterMetrics:
             "mean_response_time": float(responses.mean()) if responses.size else math.nan,
             "p50_response_time": float(np.percentile(responses, 50)) if responses.size else math.nan,
             "p90_response_time": float(np.percentile(responses, 90)) if responses.size else math.nan,
+            "p95_response_time": float(np.percentile(responses, 95)) if responses.size else math.nan,
             "p99_response_time": float(np.percentile(responses, 99)) if responses.size else math.nan,
             "mean_poll_time": float(polls.mean()) if polls.size else math.nan,
         }
@@ -269,6 +270,19 @@ class ServiceCluster:
         self._runner_active = False
         self._timeout_handles: dict[int, EventHandle] = {}
 
+        # Resilience accounting (chaos campaigns read these).
+        #: client-side request timeouts that actually triggered a retry
+        self.request_timeouts_fired = 0
+        #: duplicated/stale REQUEST deliveries discarded (a copy of the
+        #: request was already queued somewhere, or it already finished)
+        self.duplicate_deliveries_ignored = 0
+        #: RESPONSE deliveries discarded because the request had already
+        #: completed or terminally failed (duplication / timeout races)
+        self.stale_responses_ignored = 0
+        #: optional :class:`repro.cluster.failures.ChaosInjector`
+        #: installed by the experiment runner for chaos configs
+        self.chaos = None
+
         self.policy = policy
         policy.bind(self)
 
@@ -347,6 +361,10 @@ class ServiceCluster:
     def dispatch(self, client: ClientNode, request: Request, server_id: int) -> None:
         """Send ``request`` to ``server_id`` (policies call this once
         they have decided)."""
+        if request.done:
+            # A stale poll round decided after the request already
+            # finished through another path (timeout retry + chaos).
+            return
         request.dispatch_time = self.sim.now
         self.policy.notify_dispatch(client, request, server_id)
         self.network.send(
@@ -357,6 +375,12 @@ class ServiceCluster:
             self._deliver_request,
         )
         if self.request_timeout is not None:
+            # Replace (never stack) the attempt timeout: the deadline is
+            # measured from this dispatch, superseding any select-phase
+            # timeout armed by _safe_select.
+            old = self._timeout_handles.pop(request.index, None)
+            if old is not None:
+                self.sim.cancel(old)
             self._timeout_handles[request.index] = self.sim.after(
                 self.request_timeout, self._on_request_timeout, request
             )
@@ -415,18 +439,41 @@ class ServiceCluster:
 
     def _safe_select(self, client: ClientNode, request: Request) -> None:
         """Run the policy; an empty candidate set becomes a delayed retry
-        (e.g. every server's soft state expired after a mass failure)."""
+        (e.g. every server's soft state expired after a mass failure).
+
+        When ``request_timeout`` is set it covers the *whole* attempt,
+        select phase included: a poll round whose replies are all lost
+        to faults would otherwise stall the request forever. The handle
+        armed here is superseded by :meth:`dispatch` (same deadline
+        semantics as before for requests that do get dispatched).
+        """
         from repro.core.base import NoCandidatesError
 
+        if self.request_timeout is not None:
+            old = self._timeout_handles.pop(request.index, None)
+            if old is not None:
+                self.sim.cancel(old)
+            self._timeout_handles[request.index] = self.sim.after(
+                self.request_timeout, self._on_request_timeout, request
+            )
         try:
             self.policy.select(client, request)
         except NoCandidatesError:
+            handle = self._timeout_handles.pop(request.index, None)
+            if handle is not None:
+                self.sim.cancel(handle)
             delay = self.request_timeout if self.request_timeout is not None else 0.1
             self.sim.after(delay, self._retry, request)
 
     def _deliver_request(self, message: Message) -> None:
         server = self.servers[message.dst]
         request: Request = message.payload
+        if request.done or request.queued_at >= 0:
+            # Duplicated delivery, or a timeout retry raced an earlier
+            # copy: at most one live copy may occupy a server queue, and
+            # a finished request never re-enters service.
+            self.duplicate_deliveries_ignored += 1
+            return
         if not server.alive:
             self.handle_server_loss(request)
             return
@@ -449,6 +496,13 @@ class ServiceCluster:
 
     def _deliver_response(self, message: Message) -> None:
         request: Request = message.payload
+        if request.done:
+            # Duplicated RESPONSE, or a late response for a request that
+            # already completed/failed via a retry path: never record a
+            # second outcome for the same request.
+            self.stale_responses_ignored += 1
+            return
+        request.done = True
         handle = self._timeout_handles.pop(request.index, None)
         if handle is not None:
             self.sim.cancel(handle)
@@ -463,6 +517,9 @@ class ServiceCluster:
 
     def _on_request_timeout(self, request: Request) -> None:
         self._timeout_handles.pop(request.index, None)
+        if request.done:
+            return
+        self.request_timeouts_fired += 1
         self._retry(request)
 
     def handle_server_loss(self, request: Request) -> None:
@@ -473,9 +530,12 @@ class ServiceCluster:
         self._retry(request)
 
     def _retry(self, request: Request) -> None:
+        if request.done:
+            return
         request.retries += 1
         client = self.clients[(request.client_id - self.n_servers) % self.n_clients]
         if request.retries > self.max_retries:
+            request.done = True
             request.failed = True
             request.response_time = math.nan
             assert self.metrics is not None

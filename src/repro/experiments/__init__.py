@@ -32,11 +32,18 @@ from repro.experiments.io import load_results, save_results
 from repro.experiments.cache import ResultCache, config_key, default_cache_dir
 from repro.experiments.executor import SweepExecutor, SweepStats
 from repro.experiments.parity import EngineParityReport, engine_parity, parity_suite
+from repro.experiments.chaos import (
+    ResilienceReport,
+    chaos_campaign,
+    chaos_cluster_params,
+    chaos_params_for,
+)
 from repro.experiments import figures, regression
 
 __all__ = [
     "EngineParityReport",
     "ReplicatedResult",
+    "ResilienceReport",
     "ResultCache",
     "ResultTable",
     "SimulationConfig",
@@ -44,6 +51,9 @@ __all__ = [
     "SweepExecutor",
     "SweepStats",
     "build_cluster",
+    "chaos_campaign",
+    "chaos_cluster_params",
+    "chaos_params_for",
     "compare_policies",
     "config_key",
     "default_cache_dir",

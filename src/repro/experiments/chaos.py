@@ -1,0 +1,196 @@
+"""Chaos campaign: sweep fault intensity per policy, report resilience.
+
+The paper's robustness story (§3.1) is qualitative — "the service
+infrastructure [operates] smoothly in the presence of transient
+failures". This driver quantifies it: each policy runs the same
+workload at increasing *fault intensity* (message loss + duplication +
+jitter + stragglers + partitions + crash storms, all scaled together),
+and the campaign reports how response time, timeouts, retries, and
+requests lost forever degrade relative to the fault-free baseline.
+
+Everything flows through the standard machinery — configs are ordinary
+:class:`SimulationConfig` objects (chaos knobs in ``chaos_params``), so
+campaigns hit the content-addressed result cache, archive via
+:func:`~repro.experiments.io.save_results`, and parallelize over a
+:class:`~repro.experiments.executor.SweepExecutor`. Fixed seed in,
+bit-identical report out, under either event engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.io import save_results
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import SimulationResult, parallel_sweep
+
+__all__ = [
+    "DEFAULT_INTENSITIES",
+    "DEFAULT_POLICIES",
+    "ResilienceReport",
+    "chaos_campaign",
+    "chaos_cluster_params",
+    "chaos_params_for",
+]
+
+#: (label, policy, policy_params) triples the default campaign compares:
+#: the no-information baseline, the paper's recommended polling
+#: configuration, and the broadcast alternative
+DEFAULT_POLICIES: tuple[tuple[str, str, dict], ...] = (
+    ("random", "random", {}),
+    ("polling-3", "polling", {"poll_size": 3, "discard_slow": True}),
+    ("broadcast-50ms", "broadcast", {"mean_interval": 0.05}),
+)
+
+#: fault intensity grid: 0 = fault-free baseline, 1 = full chaos
+DEFAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.5, 1.0)
+
+
+def chaos_cluster_params(
+    request_timeout: float = 0.25,
+    max_retries: int = 40,
+    refresh: float = 0.2,
+    ttl: float = 0.6,
+) -> dict[str, Any]:
+    """Cluster knobs every chaos run needs: the availability subsystem
+    (so crashed/partitioned servers age out of candidate sets) and
+    client-side timeout/retry loss recovery."""
+    return {
+        "availability": True,
+        "availability_refresh": float(refresh),
+        "availability_ttl": float(ttl),
+        "request_timeout": float(request_timeout),
+        "max_retries": int(max_retries),
+    }
+
+
+def chaos_params_for(intensity: float, n_servers: int = 16) -> dict[str, Any]:
+    """Scale every :class:`~repro.cluster.ChaosSpec` knob by one scalar.
+
+    ``intensity <= 0`` returns a zero-fault spec — the injector is
+    installed (so resilience counters are reported) but makes no random
+    draws and schedules no events, which keeps the baseline row
+    observationally identical to an un-instrumented run.
+    """
+    if intensity <= 0.0:
+        return {"loss": 0.0}
+    i = float(intensity)
+    return {
+        "loss": 0.08 * i,
+        "duplicate": 0.04 * i,
+        "jitter_mean": 0.0005 * i,
+        "stragglers": int(round(2 * i)),
+        "straggle_factor": 4.0,
+        "partitions": 1 if i >= 0.5 else 0,
+        "partition_servers": max(1, n_servers // 4),
+        "storms": 1,
+        "storm_size": max(1, int(round(n_servers * 0.25 * i))),
+    }
+
+
+@dataclass
+class ResilienceReport:
+    """The campaign's output: one row per (policy, intensity) cell."""
+
+    table: ResultTable
+    results: list[SimulationResult] = field(default_factory=list)
+
+    def render(self) -> str:
+        return f"== Chaos campaign: resilience report ==\n{self.table.render()}"
+
+
+def chaos_campaign(
+    policies: Sequence[tuple[str, str, dict]] = DEFAULT_POLICIES,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    workload: str = "poisson_exp",
+    load: float = 0.7,
+    n_servers: int = 16,
+    n_requests: int = 6_000,
+    seed: int = 0,
+    cluster_params: Optional[dict[str, Any]] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
+    archive: Optional[str] = None,
+) -> ResilienceReport:
+    """Run the policy × intensity grid and build the resilience report.
+
+    Each row reports the standard latency statistics plus the chaos
+    counters and ``vs_baseline`` — mean response time normalized to the
+    same policy's intensity-0 row. ``archive`` (a path) additionally
+    saves every result in the standard archive format.
+    """
+    params = cluster_params if cluster_params is not None else chaos_cluster_params()
+    configs: list[SimulationConfig] = []
+    keys: list[tuple[str, float]] = []
+    for label, policy, policy_params in policies:
+        for intensity in intensities:
+            configs.append(
+                SimulationConfig(
+                    policy=policy,
+                    policy_params=dict(policy_params),
+                    workload=workload,
+                    load=load,
+                    n_servers=n_servers,
+                    n_requests=n_requests,
+                    seed=seed,
+                    cluster_params=dict(params),
+                    chaos_params=chaos_params_for(intensity, n_servers),
+                    label=f"chaos {label} I={intensity:g}",
+                )
+            )
+            keys.append((label, float(intensity)))
+
+    if parallel:
+        with SweepExecutor(max_workers=max_workers, cache=cache, engine=engine) as pool:
+            results = pool.sweep(configs)
+    else:
+        results = parallel_sweep(configs, parallel=False, cache=cache, engine=engine)
+
+    by_key = dict(zip(keys, results))
+    table = ResultTable(
+        [
+            "policy",
+            "intensity",
+            "mean_ms",
+            "p95_ms",
+            "timeouts",
+            "retries",
+            "lost",
+            "msg_lost",
+            "msg_dup",
+            "recovery_ms",
+            "vs_baseline",
+        ]
+    )
+    for label, _, _ in policies:
+        baseline = by_key[(label, float(intensities[0]))]
+        for intensity in intensities:
+            result = by_key[(label, float(intensity))]
+            counters = result.chaos_counters
+            base = baseline.mean_response_time
+            table.add(
+                policy=label,
+                intensity=float(intensity),
+                mean_ms=result.mean_response_time_ms,
+                p95_ms=result.p95_response_time * 1e3,
+                timeouts=int(counters.get("request_timeouts_fired", 0)),
+                retries=int(counters.get("total_retries", 0)),
+                lost=int(counters.get("requests_lost", 0)),
+                msg_lost=int(counters.get("messages_lost", 0)),
+                msg_dup=int(counters.get("messages_duplicated", 0)),
+                recovery_ms=counters.get("recovery_max_s", 0.0) * 1e3,
+                vs_baseline=(
+                    result.mean_response_time / base
+                    if math.isfinite(base) and base > 0
+                    else math.nan
+                ),
+            )
+    if archive is not None:
+        save_results(results, archive)
+    return ResilienceReport(table=table, results=list(results))

@@ -10,6 +10,40 @@ __all__ = ["SimulationConfig"]
 _MODELS = ("simulation", "prototype")
 _ENGINES = ("heap", "calendar")
 
+#: ServiceCluster keyword arguments a config may forward (kept JSON-native
+#: so cache keys survive an archive round trip)
+_CLUSTER_PARAM_KEYS = frozenset(
+    {
+        "availability",
+        "availability_refresh",
+        "availability_ttl",
+        "request_timeout",
+        "max_retries",
+        "server_max_queue",
+        "record_server_queues",
+    }
+)
+
+#: literal mirror of :class:`repro.cluster.failures.ChaosSpec` field names
+#: (kept as a literal so this module stays import-light; a unit test
+#: cross-checks it against the dataclass)
+_CHAOS_PARAM_KEYS = frozenset(
+    {
+        "loss",
+        "duplicate",
+        "jitter_mean",
+        "stragglers",
+        "straggle_factor",
+        "straggle_frac",
+        "partitions",
+        "partition_frac",
+        "partition_servers",
+        "storms",
+        "storm_size",
+        "storm_frac",
+    }
+)
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -30,6 +64,12 @@ class SimulationConfig:
     "calendar"); both produce bit-identical results, so this is purely
     a performance knob — but it participates in the result-cache key
     so engine comparisons never alias each other's cache entries.
+
+    ``cluster_params`` forwards extra :class:`ServiceCluster` keyword
+    arguments (availability subsystem, request timeouts, admission
+    control); ``chaos_params`` — :class:`ChaosSpec` knobs — installs a
+    chaos injector for the run. Both must contain only JSON-native
+    scalars so cache keys survive an archive round trip.
     """
 
     policy: str = "polling"
@@ -49,12 +89,26 @@ class SimulationConfig:
     full_load_rho: Optional[float] = None
     label: str = ""
     engine: str = "heap"
+    cluster_params: dict[str, Any] = field(default_factory=dict)
+    chaos_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
             raise ValueError(f"model must be one of {_MODELS}, got {self.model!r}")
         if self.engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        unknown = set(self.cluster_params) - _CLUSTER_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown cluster_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_CLUSTER_PARAM_KEYS)})"
+            )
+        unknown = set(self.chaos_params) - _CHAOS_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown chaos_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_CHAOS_PARAM_KEYS)})"
+            )
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")
         if self.n_requests < 10:
@@ -74,7 +128,8 @@ class SimulationConfig:
         if self.label:
             return self.label
         params = ",".join(f"{k}={v}" for k, v in sorted(self.policy_params.items()))
+        chaos = " +chaos" if self.chaos_params else ""
         return (
             f"{self.policy}({params}) {self.workload} load={self.load:.0%} "
-            f"[{self.model}]"
+            f"[{self.model}]{chaos}"
         )

@@ -39,6 +39,7 @@ from repro.workload.workloads import make_workload
 __all__ = [
     "FigureData",
     "PAPER_WORKLOADS",
+    "chaos_resilience",
     "figure2_inaccuracy",
     "figure3_broadcast",
     "figure4_pollsize",
@@ -421,6 +422,42 @@ def poll_profile_section32(
         events_executed=cluster.sim.events_executed,
     )
     return tap.profile(), result
+
+
+def chaos_resilience(
+    n_requests: int = 6_000,
+    n_servers: int = 16,
+    seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
+    archive: Optional[str] = None,
+) -> FigureData:
+    """Chaos campaign: policy resilience under scaled fault intensity.
+
+    Not a paper figure — this quantifies the §3.1 robustness claim by
+    degrading each policy with message loss/duplication/jitter,
+    stragglers, a partition, and a crash storm (see
+    :func:`repro.experiments.chaos.chaos_campaign`).
+    """
+    from repro.experiments.chaos import chaos_campaign
+
+    report = chaos_campaign(
+        n_requests=n_requests,
+        n_servers=n_servers,
+        seed=seed,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        engine=engine,
+        archive=archive,
+    )
+    return FigureData(
+        "Chaos campaign: resilience under scaled fault intensity",
+        report.table,
+        extras={"report": report},
+    )
 
 
 def message_scaling_section24(

@@ -81,6 +81,30 @@ def parity_suite(
                 policy_params={"poll_size": 3, "discard_slow": True},
             )
         )
+    # chaos path: fault injection (loss/dup/jitter, stragglers, storms,
+    # a partition) over availability + timeout/retry machinery — every
+    # random draw and recovery event must land identically per engine
+    from repro.experiments.chaos import chaos_cluster_params, chaos_params_for
+
+    chaos_base = SimulationConfig(
+        workload="poisson_exp",
+        n_servers=n_servers,
+        n_requests=n_requests,
+        seed=seed,
+        load=0.7,
+        cluster_params=chaos_cluster_params(max_retries=60),
+        chaos_params=chaos_params_for(1.0, n_servers),
+    )
+    configs.append(
+        chaos_base.with_updates(
+            policy="polling", policy_params={"poll_size": 3, "discard_slow": True}
+        )
+    )
+    configs.append(
+        chaos_base.with_updates(
+            policy="broadcast", policy_params={"mean_interval": 0.05}
+        )
+    )
     return configs
 
 

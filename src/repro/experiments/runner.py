@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.failures import resilience_counters
 from repro.cluster.system import ClusterMetrics, ServiceCluster
 from repro.core.registry import make_policy
 from repro.experiments.config import SimulationConfig
@@ -76,6 +77,10 @@ class SimulationResult:
     policy_counters: dict[str, int] = field(default_factory=dict)
     stolen_cpu: float = 0.0
     server_counts: tuple[int, ...] = ()
+    p95_response_time: float = math.nan
+    #: resilience counters from :func:`repro.cluster.resilience_counters`
+    #: (empty for runs without a chaos injector)
+    chaos_counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_response_time_ms(self) -> float:
@@ -145,8 +150,13 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         workers=config.workers,
         server_speeds=list(config.server_speeds) if config.server_speeds else None,
         engine=config.engine,
+        **config.cluster_params,
     )
     cluster.load_workload(gaps, services)
+    if config.chaos_params:
+        from repro.cluster.failures import ChaosInjector, ChaosSpec
+
+        cluster.chaos = ChaosInjector(cluster, spec=ChaosSpec(**config.chaos_params))
     return cluster, nominal_rho
 
 
@@ -180,6 +190,12 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         stolen_cpu=cluster.total_stolen_cpu(),
         server_counts=tuple(
             int(v) for v in metrics.server_counts(config.n_servers, config.warmup_fraction)
+        ),
+        p95_response_time=summary["p95_response_time"],
+        chaos_counters=(
+            resilience_counters(cluster.chaos, metrics)
+            if cluster.chaos is not None
+            else {}
         ),
     )
 

@@ -12,6 +12,8 @@ load information travels in explicit messages. This subpackage provides:
 - :mod:`~repro.net.switch` — an optional store-and-forward switched
   Ethernet model (per-port egress queues, serialization delay) for
   ablations that need bandwidth contention.
+- :mod:`~repro.net.faults` — seeded message-level fault models (loss,
+  duplication, jitter, bidirectional partitions) for chaos campaigns.
 """
 
 from repro.net.latency import (
@@ -22,6 +24,7 @@ from repro.net.latency import (
     PAPER_NET,
     UniformLatency,
 )
+from repro.net.faults import NetworkFaults
 from repro.net.message import Message, MessageKind
 from repro.net.transport import BroadcastChannel, Network
 from repro.net.switch import SwitchedEthernet
@@ -34,6 +37,7 @@ __all__ = [
     "Message",
     "MessageKind",
     "Network",
+    "NetworkFaults",
     "PAPER_NET",
     "PaperNetworkConstants",
     "SwitchedEthernet",

@@ -44,6 +44,8 @@ class Network:
         "drop_filter",
         "dropped_counts",
         "switch",
+        "faults",
+        "deliver_trace",
     )
 
     def __init__(
@@ -69,6 +71,15 @@ class Network:
         #: then represents protocol-stack time only. Used to validate
         #: the constant-latency abstraction against explicit contention.
         self.switch = switch
+        #: optional :class:`repro.net.faults.NetworkFaults`; when set,
+        #: sends run through its seeded loss/duplication/jitter/partition
+        #: decisions and deliveries re-check partitions + crashed nodes
+        #: (chaos campaigns install this; None keeps the exact fast path)
+        self.faults = None
+        #: optional callable(Message) invoked on every *actual* delivery
+        #: (after all fault checks, before the callback); used by the
+        #: chaos property tests to assert delivery invariants
+        self.deliver_trace: Optional[DeliveryCallback] = None
 
     def set_latency(self, kind: MessageKind, model: LatencyModel) -> None:
         """Override the one-way latency model for one message kind."""
@@ -99,15 +110,59 @@ class Network:
         if self.drop_filter is not None and self.drop_filter(message):
             self.dropped_counts[kind] = self.dropped_counts.get(kind, 0) + 1
             return message
+        faults = self.faults
+        duplicated = False
+        if faults is not None:
+            verdict = faults.on_send(message)
+            if verdict is None:
+                self.dropped_counts[kind] = self.dropped_counts.get(kind, 0) + 1
+                return message
+            jitter, duplicated = verdict
+            extra_delay += jitter
         latency = self.latency_for(kind).sample(self.rng) + extra_delay
+        self._schedule_delivery(latency, message, on_delivery)
+        if duplicated:
+            # The duplicate is an independent delivery: its own latency
+            # draw, subject to the same delivery-time fault checks. It
+            # does not count as a new send in message_counts (the
+            # NetworkFaults.duplicated_counts tally covers it).
+            dup_latency = self.latency_for(kind).sample(self.rng) + extra_delay
+            self._schedule_delivery(dup_latency, message, on_delivery)
+        return message
+
+    def _schedule_delivery(
+        self, latency: float, message: Message, on_delivery: DeliveryCallback
+    ) -> None:
+        """Schedule the arrival; keep the allocation-free fast path when
+        no faults/trace are installed (this is the simulator hot path)."""
+        if self.faults is None and self.deliver_trace is None:
+            if self.switch is not None:
+                self.sim.after(
+                    latency,
+                    lambda m=message: self.switch.transit(m, on_delivery),
+                )
+            else:
+                self.sim.after(latency, on_delivery, message)
+            return
         if self.switch is not None:
             self.sim.after(
                 latency,
-                lambda m=message: self.switch.transit(m, on_delivery),
+                lambda m=message: self.switch.transit(
+                    m, lambda mm: self._deliver((on_delivery, mm))
+                ),
             )
         else:
-            self.sim.after(latency, on_delivery, message)
-        return message
+            self.sim.after(latency, self._deliver, (on_delivery, message))
+
+    def _deliver(self, pair: tuple[DeliveryCallback, Message]) -> None:
+        """Final delivery gate: drop in-flight messages whose endpoints
+        crashed or were partitioned away while the message travelled."""
+        on_delivery, message = pair
+        if self.faults is not None and self.faults.blocks_delivery(message):
+            return
+        if self.deliver_trace is not None:
+            self.deliver_trace(message)
+        on_delivery(message)
 
     def total_messages(self) -> int:
         """Total messages sent (all kinds, including dropped)."""

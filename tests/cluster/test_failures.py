@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.cluster import FailureInjector, ServiceCluster
+from repro.cluster import ChaosInjector, ChaosSpec, FailureInjector, ServiceCluster
 from repro.core import make_policy
+from repro.net.message import Message, MessageKind
 
 
 def build_cluster(policy, n_requests=2000, seed=7, **kwargs):
@@ -110,3 +111,81 @@ def test_exhausted_retries_fail_request():
     assert metrics.failed.sum() > 0
     summary = metrics.summary(warmup_fraction=0.0)
     assert summary["n_failed"] == int(metrics.failed.sum())
+
+
+def test_injector_composes_with_preinstalled_drop_filter():
+    """Installing an injector must chain, not clobber, an existing
+    drop_filter: both filters stay in effect."""
+    cluster = build_cluster(make_policy("random"), n_requests=100)
+    custom_drops = []
+
+    def custom_filter(message):
+        if message.dst == 99:
+            custom_drops.append(message)
+            return True
+        return False
+
+    cluster.network.drop_filter = custom_filter
+    injector = FailureInjector(cluster)
+    injector.dead.add(1)
+
+    def probe(dst):
+        return cluster.network.drop_filter(
+            Message(MessageKind.REQUEST, 0, dst, None, 64, 0.0)
+        )
+
+    assert probe(99)  # the pre-existing filter still fires
+    assert probe(1)  # the injector's dead-node filter fires too
+    assert not probe(2)  # anything neither filter matches passes
+    assert len(custom_drops) == 1
+
+
+def test_straggler_slows_then_recovers():
+    """A straggle interval makes a load-aware policy route around the
+    slow server, and the speed is fully restored afterwards."""
+    cluster = build_cluster(make_policy("least_connections"), n_requests=2000)
+    injector = ChaosInjector(cluster)
+    injector.schedule_straggle(0, at=0.2, duration=0.5, factor=8.0)
+    metrics = cluster.run()
+    assert cluster.servers[0].speed == pytest.approx(1.0)
+    assert metrics.failed.sum() == 0
+    # During the straggle window the straggler's queue builds up, so the
+    # least-connections policy sends it far less than the fair share.
+    window = (metrics.arrival_time >= 0.2) & (metrics.arrival_time < 0.7)
+    finished = window & np.isfinite(metrics.response_time)
+    share = (metrics.server_id[finished] == 0).mean()
+    fair = 1.0 / cluster.n_servers
+    assert share < 0.6 * fair
+
+
+def test_chaos_schedule_requires_loaded_workload():
+    cluster = ServiceCluster(
+        n_servers=4, n_clients=2, policy=make_policy("random"), seed=0
+    )
+    with pytest.raises(ValueError, match="load_workload"):
+        ChaosInjector(cluster, spec=ChaosSpec(storms=1))
+
+
+def test_zero_spec_injector_changes_nothing():
+    """A zero-fault ChaosSpec must be observationally identical to no
+    injector at all (the campaign's intensity-0 baseline row)."""
+    plain = build_cluster(make_policy("random"), n_requests=400)
+    baseline = plain.run()
+    chaotic = build_cluster(make_policy("random"), n_requests=400)
+    injector = ChaosInjector(chaotic, spec=ChaosSpec())
+    result = chaotic.run()
+    np.testing.assert_array_equal(baseline.response_time, result.response_time)
+    np.testing.assert_array_equal(baseline.server_id, result.server_id)
+    assert injector.events == []
+    assert injector.faults.total_lost() == 0
+
+
+def test_chaos_spec_validation():
+    with pytest.raises(ValueError):
+        ChaosSpec(loss=1.5)
+    with pytest.raises(ValueError):
+        ChaosSpec(straggle_factor=0.0)
+    with pytest.raises(ValueError):
+        ChaosSpec(storm_frac=0.0)
+    with pytest.raises(ValueError):
+        ChaosSpec(storms=-1)

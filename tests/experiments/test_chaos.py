@@ -1,0 +1,115 @@
+"""Tests for the chaos campaign driver and its config plumbing."""
+
+import pytest
+
+from repro.cluster import ChaosSpec
+from repro.experiments import SimulationConfig, load_results
+from repro.experiments.cache import ResultCache
+from repro.experiments.chaos import (
+    DEFAULT_INTENSITIES,
+    DEFAULT_POLICIES,
+    chaos_campaign,
+    chaos_cluster_params,
+    chaos_params_for,
+)
+from repro.experiments.config import _CHAOS_PARAM_KEYS, _CLUSTER_PARAM_KEYS
+
+
+def test_chaos_param_keys_mirror_chaos_spec():
+    """config.py validates chaos_params against a literal mirror of the
+    ChaosSpec fields (to stay import-light) — keep them in sync."""
+    assert _CHAOS_PARAM_KEYS == ChaosSpec.field_names()
+
+
+def test_unknown_cluster_params_key_rejected():
+    with pytest.raises(ValueError, match="cluster_params"):
+        SimulationConfig(cluster_params={"n_serverz": 4})
+
+
+def test_unknown_chaos_params_key_rejected():
+    with pytest.raises(ValueError, match="chaos_params"):
+        SimulationConfig(chaos_params={"losss": 0.1})
+
+
+def test_allowed_params_accepted():
+    config = SimulationConfig(
+        cluster_params=chaos_cluster_params(),
+        chaos_params=chaos_params_for(1.0),
+    )
+    assert set(config.cluster_params) <= _CLUSTER_PARAM_KEYS
+    assert set(config.chaos_params) <= _CHAOS_PARAM_KEYS
+    assert config.describe().endswith("+chaos")
+
+
+def test_zero_intensity_is_zero_fault_spec():
+    assert chaos_params_for(0.0) == {"loss": 0.0}
+    assert chaos_params_for(-1.0) == {"loss": 0.0}
+    spec = ChaosSpec(**chaos_params_for(0.0))
+    assert spec == ChaosSpec()
+
+
+def test_intensity_scales_knobs():
+    half = chaos_params_for(0.5, n_servers=16)
+    full = chaos_params_for(1.0, n_servers=16)
+    assert 0 < half["loss"] < full["loss"] <= 0.08
+    assert half["storm_size"] < full["storm_size"]
+    assert full["partitions"] == 1
+
+
+def small_campaign(**kwargs):
+    kwargs.setdefault("policies", DEFAULT_POLICIES[:2])
+    kwargs.setdefault("intensities", (0.0, 1.0))
+    kwargs.setdefault("n_requests", 300)
+    kwargs.setdefault("n_servers", 4)
+    kwargs.setdefault("parallel", False)
+    return chaos_campaign(**kwargs)
+
+
+def test_campaign_shape_and_baseline_normalization():
+    report = small_campaign()
+    assert len(report.table) == 4  # 2 policies x 2 intensities
+    for row in report.table.rows:
+        if row["intensity"] == 0.0:
+            assert row["vs_baseline"] == pytest.approx(1.0)
+            assert row["msg_lost"] == 0
+        else:
+            assert row["msg_lost"] > 0
+    assert [r.config.label for r in report.results] == [
+        f"chaos {label} I={i:g}"
+        for label in ("random", "polling-3")
+        for i in (0.0, 1.0)
+    ]
+
+
+def test_campaign_is_deterministic():
+    first = small_campaign()
+    second = small_campaign()
+    assert first.table.rows == second.table.rows
+
+
+def test_campaign_cache_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    fresh = small_campaign(cache=cache)
+    assert cache.misses == 4 and cache.hits == 0
+    cached = small_campaign(cache=cache)
+    assert cache.hits == 4
+    assert fresh.table.rows == cached.table.rows
+    for a, b in zip(fresh.results, cached.results):
+        assert a.config == b.config
+        assert a.chaos_counters == b.chaos_counters
+        assert a.p95_response_time == b.p95_response_time
+
+
+def test_campaign_archive(tmp_path):
+    archive = tmp_path / "chaos.json"
+    report = small_campaign(archive=str(archive))
+    reloaded = load_results(archive)
+    assert [r.config for r in reloaded] == [r.config for r in report.results]
+    assert [r.chaos_counters for r in reloaded] == [
+        r.chaos_counters for r in report.results
+    ]
+
+
+def test_default_grid_covers_three_policies():
+    assert len(DEFAULT_POLICIES) == 3
+    assert DEFAULT_INTENSITIES[0] == 0.0

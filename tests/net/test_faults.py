@@ -1,0 +1,184 @@
+"""Unit tests for the seeded message-level fault models."""
+
+import numpy as np
+import pytest
+
+from repro.net import ConstantLatency, Message, MessageKind, Network, NetworkFaults
+from repro.sim import Simulator
+
+
+def make_network(latency=1e-4):
+    sim = Simulator()
+    net = Network(sim, np.random.default_rng(0), ConstantLatency(latency))
+    return sim, net
+
+
+def install_faults(net, **kwargs):
+    faults = NetworkFaults(np.random.default_rng(1), **kwargs)
+    net.faults = faults
+    return faults
+
+
+def send_n(sim, net, n, src=0, dst=1, kind=MessageKind.REQUEST):
+    delivered = []
+    for i in range(n):
+        net.send(kind, src, dst, i, delivered.append)
+    sim.run()
+    return delivered
+
+
+def test_probability_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        NetworkFaults(rng, loss=1.5)
+    with pytest.raises(ValueError):
+        NetworkFaults(rng, duplicate=-0.1)
+    with pytest.raises(ValueError):
+        NetworkFaults(rng, jitter_mean=-1.0)
+    with pytest.raises(ValueError):
+        NetworkFaults(rng, per_kind={MessageKind.POLL: {"latency": 1.0}})
+
+
+def test_no_faults_delivers_everything():
+    sim, net = make_network()
+    install_faults(net)
+    delivered = send_n(sim, net, 50)
+    assert len(delivered) == 50
+
+
+def test_total_loss_drops_everything():
+    sim, net = make_network()
+    faults = install_faults(net, loss=1.0)
+    delivered = send_n(sim, net, 30)
+    assert delivered == []
+    assert faults.total_lost() == 30
+    assert net.dropped_counts[MessageKind.REQUEST] == 30
+
+
+def test_total_duplication_delivers_twice():
+    sim, net = make_network()
+    faults = install_faults(net, duplicate=1.0)
+    delivered = send_n(sim, net, 20)
+    assert len(delivered) == 40
+    assert faults.total_duplicated() == 20
+    # duplicates are not new sends
+    assert net.message_counts[MessageKind.REQUEST] == 20
+
+
+def test_jitter_delays_delivery():
+    sim, net = make_network(latency=1e-4)
+    install_faults(net, jitter_mean=0.05)
+    times = []
+    for i in range(200):
+        net.send(MessageKind.REQUEST, 0, 1, i, lambda m: times.append(sim.now))
+    sim.run()
+    extras = np.array(times) - 1e-4
+    assert (extras >= -1e-12).all()
+    assert extras.mean() == pytest.approx(0.05, rel=0.3)
+
+
+def test_per_kind_override_silences_one_kind_only():
+    sim, net = make_network()
+    install_faults(net, per_kind={MessageKind.PUBLISH: {"loss": 1.0}})
+    publishes = send_n(sim, net, 10, kind=MessageKind.PUBLISH)
+    requests = send_n(sim, net, 10, kind=MessageKind.REQUEST)
+    assert publishes == []
+    assert len(requests) == 10
+
+
+def test_partition_blocks_both_directions_at_send():
+    sim, net = make_network()
+    faults = install_faults(net)
+    faults.add_partition({0, 1}, {2, 3})
+    a = send_n(sim, net, 5, src=0, dst=2)
+    b = send_n(sim, net, 5, src=3, dst=1)
+    within = send_n(sim, net, 5, src=0, dst=1)
+    assert a == [] and b == []
+    assert len(within) == 5
+    assert sum(faults.partition_drop_counts.values()) == 10
+
+
+def test_partition_heal_restores_traffic():
+    sim, net = make_network()
+    faults = install_faults(net)
+    pair = faults.add_partition({0}, {1})
+    assert send_n(sim, net, 3) == []
+    faults.remove_partition(pair)
+    assert len(send_n(sim, net, 3)) == 3
+
+
+def test_partition_activation_drops_in_flight_messages():
+    sim, net = make_network(latency=0.01)
+    faults = install_faults(net)
+    delivered = []
+    net.send(MessageKind.REQUEST, 0, 1, "x", delivered.append)
+    # cut activates while the message is on the wire
+    sim.at(0.005, lambda: faults.add_partition({0}, {1}))
+    sim.run()
+    assert delivered == []
+    assert faults.in_flight_drop_counts[MessageKind.REQUEST] == 1
+
+
+def test_crash_mid_flight_blocks_delivery():
+    sim, net = make_network(latency=0.01)
+    faults = install_faults(net)
+    delivered = []
+    net.send(MessageKind.REQUEST, 0, 1, "x", delivered.append)
+    sim.at(0.005, lambda: faults.unreachable.add(1))
+    sim.run()
+    assert delivered == []
+
+
+def test_unreachable_source_also_blocks():
+    sim, net = make_network(latency=0.01)
+    faults = install_faults(net)
+    delivered = []
+    net.send(MessageKind.RESPONSE, 1, 0, "x", delivered.append)
+    sim.at(0.005, lambda: faults.unreachable.add(1))
+    sim.run()
+    assert delivered == []
+
+
+def test_partition_group_validation():
+    faults = NetworkFaults(np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        faults.add_partition([], [1])
+    with pytest.raises(ValueError):
+        faults.add_partition([1, 2], [2, 3])
+
+
+def test_drop_filter_runs_before_faults_and_consumes_no_rng():
+    """Deterministic drops (crash filter) must not perturb the fault
+    RNG stream — the composability contract."""
+    sim, net = make_network()
+    install_faults(net, loss=0.5)
+    net.drop_filter = lambda m: m.dst == 9
+    send_n(sim, net, 20, dst=9)  # all filter-dropped
+    state_after_filtered = net.faults.rng.bit_generator.state["state"]
+
+    sim2, net2 = make_network()
+    install_faults(net2, loss=0.5)
+    state_fresh = net2.faults.rng.bit_generator.state["state"]
+    assert state_after_filtered == state_fresh
+
+
+def test_deliver_trace_fires_only_on_actual_deliveries():
+    sim, net = make_network()
+    install_faults(net, loss=1.0, per_kind={MessageKind.POLL: {"loss": 0.0}})
+    traced = []
+    net.deliver_trace = traced.append
+    send_n(sim, net, 5, kind=MessageKind.REQUEST)  # all lost
+    delivered = send_n(sim, net, 5, kind=MessageKind.POLL)
+    assert len(delivered) == 5
+    assert len(traced) == 5
+    assert all(m.kind is MessageKind.POLL for m in traced)
+
+
+def test_fixed_seed_fault_decisions_are_reproducible():
+    outcomes = []
+    for _ in range(2):
+        sim, net = make_network()
+        faults = install_faults(net, loss=0.3, duplicate=0.3, jitter_mean=0.001)
+        delivered = send_n(sim, net, 100)
+        outcomes.append((len(delivered), faults.total_lost(), faults.total_duplicated()))
+    assert outcomes[0] == outcomes[1]
