@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke telemetry-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,11 @@ chaos-smoke:
 	$(PYTHON) -m repro chaos --quick --seed 0
 	$(PYTHON) -m repro chaos --quick --seed 0
 
+# Tiny telemetry-on run; the exported spans.jsonl/series.csv are
+# re-read and validated against the schema by the trace command itself.
+telemetry-smoke:
+	$(PYTHON) -m repro trace --quick --seed 0 --export-dir .telemetry-smoke
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/search_engine_trace.py
@@ -54,5 +59,5 @@ figures:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/output build *.egg-info src/*.egg-info
-	rm -rf .repro-cache BENCH_engine.json
+	rm -rf .repro-cache BENCH_engine.json .telemetry-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -12,6 +12,7 @@ Usage::
     python -m repro messages
     python -m repro parity
     python -m repro chaos --quick
+    python -m repro trace --policy broadcast --policy-param mean_interval=0.1
     python -m repro list
 
 Figures print the same series the paper plots; ``--requests`` trades
@@ -49,7 +50,30 @@ _QUICK_REQUESTS = {
     "compare": 600,
     "parity": 800,
     "chaos": 600,
+    "trace": 800,
 }
+
+
+def _parse_policy_params(pairs: Sequence[str]) -> dict:
+    """``key=value`` pairs -> typed params (int, float, bool, then str)."""
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--policy-param expects key=value, got {pair!r}")
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key] = value
+    return params
 
 
 def _sweep_kwargs(args) -> dict:
@@ -164,6 +188,68 @@ def _chaos(args) -> str:
     return data.render()
 
 
+def _trace(args) -> str:
+    """Telemetry run: lifecycle spans, staleness report, sampled series."""
+    import numpy as np
+
+    from repro.experiments import (
+        SimulationConfig,
+        run_with_telemetry,
+        save_telemetry,
+        staleness_response_table,
+        validate_telemetry_dir,
+    )
+
+    config = SimulationConfig(
+        policy=args.policy,
+        policy_params=_parse_policy_params(args.policy_param),
+        workload=args.workload,
+        load=args.load,
+        n_requests=args.requests or 5_000,
+        seed=args.seed,
+        engine=args.engine or "heap",
+        telemetry={"spans": True, "sample_interval": args.sample_interval},
+    )
+    result, report = run_with_telemetry(config)
+    lines = [
+        f"== request-lifecycle telemetry: {config.describe()} ==",
+        f"spans: {len(report.spans)} (dropped: {report.spans_dropped})  "
+        f"samples: {len(report.series['time'])} @ {report.sample_interval * 1e3:g}ms  "
+        f"mean response: {result.mean_response_time_ms:.3f}ms",
+        "",
+        "-- response time vs decision-information staleness --",
+        staleness_response_table(report.staleness(), report.response_times()),
+    ]
+    queue_columns = [name for name in report.series if name.endswith(".queue")]
+    if queue_columns:
+        peaks = [float(report.series[name].max()) for name in queue_columns]
+        means = [float(report.series[name].mean()) for name in queue_columns]
+        lines += [
+            "",
+            "-- sampled series overview --",
+            f"per-server queue: mean {np.mean(means):.2f}, "
+            f"peak {max(peaks):.0f}; "
+            f"in-flight messages: peak {report.series['net.inflight'].max():.0f}; "
+            f"dropped: {report.series['net.dropped'][-1]:.0f}",
+        ]
+    accounting = report.accounting
+    messages = ", ".join(f"{k}={v}" for k, v in accounting["messages"].items())
+    policy_counters = ", ".join(f"{k}={v}" for k, v in accounting["policy"].items())
+    lines += ["", f"messages: {messages}"]
+    if policy_counters:
+        lines.append(f"policy counters: {policy_counters}")
+    if args.export_dir:
+        paths = save_telemetry(report, args.export_dir)
+        checked = validate_telemetry_dir(args.export_dir)
+        lines += [
+            "",
+            f"exported {checked['spans']} spans, {checked['series']} samples x "
+            f"{checked['series_columns']} series -> {paths['spans'].parent} "
+            "(schema validated)",
+        ]
+    return "\n".join(lines)
+
+
 def _parity(args) -> str:
     """Prove heap and calendar engines produce bit-identical results."""
     from repro.experiments import engine_parity, parity_suite
@@ -187,6 +273,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "compare": (_compare, "policy comparison with confidence intervals"),
     "parity": (_parity, "heap vs calendar engine determinism check"),
     "chaos": (_chaos, "chaos campaign: resilience under injected faults"),
+    "trace": (_trace, "request-lifecycle telemetry + staleness report"),
 }
 
 
@@ -218,6 +305,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="load level for `compare` (default: 0.9)")
     parser.add_argument("--replications", type=int, default=5,
                         help="replications for `compare` (default: 5)")
+    parser.add_argument("--policy", default="polling",
+                        help="policy for `trace` (default: polling)")
+    parser.add_argument("--policy-param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="policy parameter for `trace` (repeatable)")
+    parser.add_argument("--sample-interval", type=float, default=0.05,
+                        help="telemetry series grid spacing in simulated "
+                             "seconds for `trace` (default: 0.05)")
+    parser.add_argument("--export-dir", default=None,
+                        help="export `trace` telemetry (spans.jsonl, "
+                             "series.csv, accounting.json) to this directory")
     return parser
 
 

@@ -39,6 +39,7 @@ class Request:
         "failed",
         "done",
         "queued_at",
+        "decision",
     )
 
     def __init__(self, index: int, client_id: int, service_time: float, arrival_time: float):
@@ -62,6 +63,11 @@ class Request:
         #: or in service), -1 otherwise; guards against the same request
         #: occupying two queues at once under duplication/timeout races
         self.queued_at = -1
+        #: telemetry decision annotation ``(perceived_load, observed_at)``
+        #: set by telemetry-aware policies via
+        #: :meth:`repro.telemetry.TelemetryCollector.note_decision`;
+        #: always None when telemetry is disabled
+        self.decision = None
 
     @property
     def poll_time(self) -> float:

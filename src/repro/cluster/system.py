@@ -282,6 +282,11 @@ class ServiceCluster:
         #: optional :class:`repro.cluster.failures.ChaosInjector`
         #: installed by the experiment runner for chaos configs
         self.chaos = None
+        #: optional :class:`repro.telemetry.TelemetryCollector` installed
+        #: by the experiment runner for telemetry-enabled configs; every
+        #: touch point guards with ``is not None`` (zero overhead off,
+        #: same pattern as ``Simulator.trace``)
+        self.telemetry = None
 
         self.policy = policy
         policy.bind(self)
@@ -303,9 +308,13 @@ class ServiceCluster:
         self,
         client: ClientNode,
         server_id: int,
-        on_reply: Callable[[int, int], None],
+        on_reply: Callable[[int, int, float], None],
     ) -> None:
-        """Send a load inquiry; ``on_reply(server_id, queue_length)``.
+        """Send a load inquiry; ``on_reply(server_id, queue_length, observed_at)``.
+
+        ``observed_at`` is the simulation time the queue length was read
+        at the server — the reply's information is already that old when
+        the callback fires (telemetry derives decision staleness from it).
 
         Simulation model: one idle UDP round trip (290 µs), queue length
         read when the inquiry reaches the server.
@@ -325,6 +334,7 @@ class ServiceCluster:
         def deliver_poll(_message: Message) -> None:
             server = self.servers[server_id]
             queue_length = server.queue_length
+            observed_at = self.sim.now
             extra = 0.0
             if overhead is not None:
                 extra = overhead.sample_reply_delay(
@@ -336,9 +346,12 @@ class ServiceCluster:
                 if overhead is not None:
                     recv_delay = client.occupy(overhead.poll_recv_cost)
                     if recv_delay > 0.0:
-                        self.sim.after(recv_delay, lambda: on_reply(server_id, queue_length))
+                        self.sim.after(
+                            recv_delay,
+                            lambda: on_reply(server_id, queue_length, observed_at),
+                        )
                         return
-                on_reply(server_id, queue_length)
+                on_reply(server_id, queue_length, observed_at)
 
             self.network.send(
                 MessageKind.POLL_REPLY,
@@ -509,6 +522,8 @@ class ServiceCluster:
         request.response_time = self.sim.now - request.arrival_time
         assert self.metrics is not None
         self.metrics.record(request)
+        if self.telemetry is not None:
+            self.telemetry.on_request_complete(request)
         self._completed += 1
         client = self.clients[(request.client_id - self.n_servers) % self.n_clients]
         self.policy.notify_complete(client, request)
@@ -540,6 +555,8 @@ class ServiceCluster:
             request.response_time = math.nan
             assert self.metrics is not None
             self.metrics.record(request)
+            if self.telemetry is not None:
+                self.telemetry.on_request_complete(request)
             self._completed += 1
             if self._completed >= self.n_requests and self._runner_active:
                 raise _RunComplete

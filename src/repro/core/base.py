@@ -14,8 +14,16 @@ The context API a policy may use:
   *only* oracle-style policies may read ``servers[i].queue_length``
   directly — distributed policies must learn load via messages.
 - ``ctx.available_servers(client)`` — current candidate ids.
-- ``ctx.poll_server(client, server_id, on_reply)`` — one load inquiry.
+- ``ctx.poll_server(client, server_id, on_reply)`` — one load inquiry;
+  ``on_reply(server_id, queue_length, observed_at)`` fires with the
+  time the queue length was read at the server.
 - ``ctx.dispatch(client, request, server_id)`` — commit the choice.
+- ``ctx.telemetry`` — the run's
+  :class:`~repro.telemetry.TelemetryCollector`, or ``None`` when
+  telemetry is off. Policies that act on load information should guard
+  with ``is not None`` and call
+  ``ctx.telemetry.note_decision(request, perceived_load, observed_at)``
+  when they commit, so spans carry decision staleness.
 """
 
 from __future__ import annotations

@@ -30,6 +30,9 @@ from repro.core.base import LoadBalancer, NoCandidatesError, choose_min_with_tie
 __all__ = ["BroadcastPolicy"]
 
 _TABLE_KEY = "broadcast.table"
+#: per-entry announce time of the value in _TABLE_KEY (t=0 for the
+#: initial all-zero table) — what telemetry staleness is measured from
+_TABLE_TIME_KEY = "broadcast.table_time"
 
 
 class BroadcastPolicy(LoadBalancer):
@@ -51,6 +54,7 @@ class BroadcastPolicy(LoadBalancer):
         self._channel = BroadcastChannel(ctx.network)
         for client in ctx.clients:
             client.state[_TABLE_KEY] = np.zeros(ctx.n_servers)
+            client.state[_TABLE_TIME_KEY] = np.zeros(ctx.n_servers)
             self._channel.subscribe(
                 client.node_id,
                 lambda message, c=client: self._on_announcement(c, message),
@@ -73,6 +77,9 @@ class BroadcastPolicy(LoadBalancer):
     def _on_announcement(self, client, message) -> None:
         server_id, queue_length = message.payload
         client.state[_TABLE_KEY][server_id] = queue_length
+        # The load index was read when the server *sent* the
+        # announcement, not when it arrived here.
+        client.state[_TABLE_TIME_KEY][server_id] = message.send_time
 
     # ------------------------------------------------------------------
     def select(self, client, request) -> None:
@@ -82,6 +89,13 @@ class BroadcastPolicy(LoadBalancer):
         table = client.state[_TABLE_KEY]
         values = [table[i] for i in candidates]
         server_id = choose_min_with_ties(candidates, values, self._rng_ties)
+        telemetry = self.ctx.telemetry
+        if telemetry is not None:
+            telemetry.note_decision(
+                request,
+                float(table[server_id]),
+                float(client.state[_TABLE_TIME_KEY][server_id]),
+            )
         self.ctx.dispatch(client, request, server_id)
 
     def describe(self) -> str:

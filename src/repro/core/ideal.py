@@ -44,6 +44,12 @@ class IdealOracle(LoadBalancer):
         else:
             values = [servers[i].queue_length for i in candidates]
         server_id = choose_min_with_ties(candidates, values, self._rng)
+        telemetry = self.ctx.telemetry
+        if telemetry is not None:
+            # The oracle reads live queue lengths: staleness is zero.
+            telemetry.note_decision(
+                request, float(servers[server_id].queue_length), self.ctx.sim.now
+            )
         self.ctx.dispatch(client, request, server_id)
 
     def describe(self) -> str:

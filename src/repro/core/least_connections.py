@@ -34,6 +34,11 @@ class LeastConnectionsPolicy(LoadBalancer):
         counts = client.state[_COUNTS_KEY]
         values = [int(counts[i]) for i in candidates]
         server_id = choose_min_with_ties(candidates, values, self._rng)
+        telemetry = self.ctx.telemetry
+        if telemetry is not None:
+            # The counter is client-local and current: staleness is zero
+            # (the *signal* is weak, not old).
+            telemetry.note_decision(request, float(counts[server_id]), self.ctx.sim.now)
         self.ctx.dispatch(client, request, server_id)
 
     def notify_dispatch(self, client, request, server_id) -> None:

@@ -40,7 +40,8 @@ class _PollOperation:
         self.client = client
         self.request = request
         self.expected = expected
-        self.replies: list[tuple[int, int]] = []  # (server_id, queue_length)
+        #: (server_id, queue_length, observed_at) per reply
+        self.replies: list[tuple[int, int, float]] = []
         self.done = False
         self.timeout_handle = None
 
@@ -103,17 +104,23 @@ class RandomPollingPolicy(LoadBalancer):
                 self.discard_timeout, self._on_timeout, operation
             )
         self.polls_sent += count
-        on_reply = lambda sid, qlen, op=operation: self._on_reply(op, sid, qlen)  # noqa: E731
+        on_reply = lambda sid, qlen, seen, op=operation: self._on_reply(op, sid, qlen, seen)  # noqa: E731
         for server_id in targets:
             ctx.poll_server(client, server_id, on_reply)
 
     # ------------------------------------------------------------------
-    def _on_reply(self, operation: _PollOperation, server_id: int, queue_length: int) -> None:
+    def _on_reply(
+        self,
+        operation: _PollOperation,
+        server_id: int,
+        queue_length: int,
+        observed_at: float,
+    ) -> None:
         if operation.done:
             self.replies_discarded += 1
             return
         self.replies_received += 1
-        operation.replies.append((server_id, queue_length))
+        operation.replies.append((server_id, queue_length, observed_at))
         if len(operation.replies) == operation.expected:
             self._decide(operation)
         elif operation.timeout_handle is None and self.discard_slow:
@@ -137,11 +144,17 @@ class RandomPollingPolicy(LoadBalancer):
         replies = operation.replies
         if self.weight_by_speed:
             servers = self.ctx.servers
-            values = [(qlen + 1) / servers[sid].speed for sid, qlen in replies]
+            values = [(qlen + 1) / servers[sid].speed for sid, qlen, _seen in replies]
         else:
-            values = [qlen for _sid, qlen in replies]
-        ids = [sid for sid, _qlen in replies]
+            values = [qlen for _sid, qlen, _seen in replies]
+        ids = [sid for sid, _qlen, _seen in replies]
         server_id = choose_min_with_ties(ids, values, self._rng)
+        telemetry = self.ctx.telemetry
+        if telemetry is not None:
+            for sid, qlen, seen in replies:
+                if sid == server_id:
+                    telemetry.note_decision(operation.request, float(qlen), seen)
+                    break
         self.ctx.dispatch(operation.client, operation.request, server_id)
 
     def describe(self) -> str:

@@ -39,6 +39,7 @@ class GlobalSnapshotPolicy(LoadBalancer):
         ctx = self.ctx
         self._rng = ctx.rng("policy.stale.ties")
         self._snapshot = np.zeros(ctx.n_servers)
+        self._snapshot_time = 0.0
         if self.local_increment:
             for client in ctx.clients:
                 client.state[_LOCAL_KEY] = self._snapshot.copy()
@@ -48,6 +49,7 @@ class GlobalSnapshotPolicy(LoadBalancer):
         ctx = self.ctx
         for server in ctx.servers:
             self._snapshot[server.node_id] = server.queue_length
+        self._snapshot_time = ctx.sim.now
         self.refreshes += 1
         if self.local_increment:
             for client in ctx.clients:
@@ -61,6 +63,9 @@ class GlobalSnapshotPolicy(LoadBalancer):
         table = client.state[_LOCAL_KEY] if self.local_increment else self._snapshot
         values = [table[i] for i in candidates]
         server_id = choose_min_with_ties(candidates, values, self._rng)
+        telemetry = self.ctx.telemetry
+        if telemetry is not None:
+            telemetry.note_decision(request, float(table[server_id]), self._snapshot_time)
         if self.local_increment:
             table[server_id] += 1
         self.ctx.dispatch(client, request, server_id)

@@ -20,15 +20,22 @@ from repro.experiments.runner import (
     build_cluster,
     parallel_sweep,
     run_simulation,
+    run_with_telemetry,
 )
 from repro.experiments.results import ResultTable
-from repro.experiments.report import format_table
+from repro.experiments.report import format_table, staleness_response_table
 from repro.experiments.replication import (
     ReplicatedResult,
     compare_policies,
     replicate,
 )
-from repro.experiments.io import load_results, save_results
+from repro.experiments.io import (
+    load_results,
+    load_spans_jsonl,
+    save_results,
+    save_telemetry,
+    validate_telemetry_dir,
+)
 from repro.experiments.cache import ResultCache, config_key, default_cache_dir
 from repro.experiments.executor import SweepExecutor, SweepStats
 from repro.experiments.parity import EngineParityReport, engine_parity, parity_suite
@@ -61,10 +68,15 @@ __all__ = [
     "figures",
     "format_table",
     "load_results",
+    "load_spans_jsonl",
     "parallel_sweep",
     "parity_suite",
     "regression",
     "replicate",
     "run_simulation",
+    "run_with_telemetry",
     "save_results",
+    "save_telemetry",
+    "staleness_response_table",
+    "validate_telemetry_dir",
 ]

@@ -44,6 +44,10 @@ _CHAOS_PARAM_KEYS = frozenset(
     }
 )
 
+#: literal mirror of :class:`repro.telemetry.TelemetryCollector` knobs
+#: (cross-checked against the constructor by a unit test)
+_TELEMETRY_PARAM_KEYS = frozenset({"spans", "sample_interval", "max_spans"})
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -70,6 +74,13 @@ class SimulationConfig:
     control); ``chaos_params`` — :class:`ChaosSpec` knobs — installs a
     chaos injector for the run. Both must contain only JSON-native
     scalars so cache keys survive an archive round trip.
+
+    ``telemetry`` — :class:`repro.telemetry.TelemetryCollector` knobs
+    (``spans``, ``sample_interval``, ``max_spans``) — opts the run into
+    request-lifecycle telemetry; an empty dict (the default) means off
+    and keeps every hot path exactly as before. Telemetry never changes
+    simulation results (no events, no RNG draws — DESIGN.md §10), only
+    what is *recorded* about them.
     """
 
     policy: str = "polling"
@@ -91,6 +102,7 @@ class SimulationConfig:
     engine: str = "heap"
     cluster_params: dict[str, Any] = field(default_factory=dict)
     chaos_params: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -108,6 +120,12 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown chaos_params key(s): {sorted(unknown)} "
                 f"(allowed: {sorted(_CHAOS_PARAM_KEYS)})"
+            )
+        unknown = set(self.telemetry) - _TELEMETRY_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_TELEMETRY_PARAM_KEYS)})"
             )
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")

@@ -45,8 +45,17 @@ class ResultTable:
     def pivot(self, index: str, column: str, value: str) -> "ResultTable":
         """Wide-format view: one row per ``index``, one column per
         distinct ``column`` value (how the figure benches print series).
+
+        Column values sort natively when comparable — numeric series
+        like poll size d ∈ {2, 10} render as ``2, 10``, not the
+        lexicographic ``10, 2`` — falling back to string order only for
+        mixed incomparable types.
         """
-        column_values = sorted({row[column] for row in self.rows}, key=str)
+        distinct = {row[column] for row in self.rows}
+        try:
+            column_values = sorted(distinct)
+        except TypeError:
+            column_values = sorted(distinct, key=str)
         out = ResultTable([index] + [str(v) for v in column_values])
         for index_value in dict.fromkeys(row[index] for row in self.rows):
             entry: dict[str, Any] = {index: index_value}

@@ -30,12 +30,14 @@ from repro.workload.workloads import make_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.cache import ResultCache
+    from repro.telemetry import TelemetryReport
 
 __all__ = [
     "SimulationResult",
     "auto_chunksize",
     "build_cluster",
     "run_simulation",
+    "run_with_telemetry",
     "parallel_sweep",
 ]
 
@@ -81,6 +83,11 @@ class SimulationResult:
     #: resilience counters from :func:`repro.cluster.resilience_counters`
     #: (empty for runs without a chaos injector)
     chaos_counters: dict[str, float] = field(default_factory=dict)
+    #: staleness/span digest from
+    #: :meth:`repro.telemetry.TelemetryCollector.summary` (empty for
+    #: runs without telemetry; full spans/series live in the
+    #: :class:`~repro.telemetry.TelemetryReport`, not here)
+    telemetry_summary: dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_response_time_ms(self) -> float:
@@ -157,6 +164,10 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         from repro.cluster.failures import ChaosInjector, ChaosSpec
 
         cluster.chaos = ChaosInjector(cluster, spec=ChaosSpec(**config.chaos_params))
+    if config.telemetry:
+        from repro.telemetry import TelemetryCollector
+
+        cluster.telemetry = TelemetryCollector(cluster, **config.telemetry)
     return cluster, nominal_rho
 
 
@@ -164,6 +175,31 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     """Run one configuration to completion and summarize."""
     started = time.perf_counter()
     cluster, nominal_rho = build_cluster(config)
+    return _summarize_run(config, cluster, nominal_rho, started)
+
+
+def run_with_telemetry(
+    config: SimulationConfig,
+) -> tuple[SimulationResult, "TelemetryReport"]:
+    """Run one configuration with telemetry and return the full report.
+
+    A config without a ``telemetry`` block is opted in with the default
+    collector settings; the simulation outcome is bit-identical to the
+    telemetry-off run of the same config (telemetry only records).
+    """
+    if not config.telemetry:
+        config = config.with_updates(telemetry={"spans": True})
+    started = time.perf_counter()
+    cluster, nominal_rho = build_cluster(config)
+    result = _summarize_run(config, cluster, nominal_rho, started)
+    assert cluster.telemetry is not None
+    return result, cluster.telemetry.report()
+
+
+def _summarize_run(
+    config: SimulationConfig, cluster, nominal_rho: float, started: float
+) -> SimulationResult:
+    """Run a built cluster to completion and fold it into a result."""
     metrics: ClusterMetrics = cluster.run()
     summary = metrics.summary(config.warmup_fraction)
     counters = {
@@ -196,6 +232,9 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
             resilience_counters(cluster.chaos, metrics)
             if cluster.chaos is not None
             else {}
+        ),
+        telemetry_summary=(
+            cluster.telemetry.summary() if cluster.telemetry is not None else {}
         ),
     )
 

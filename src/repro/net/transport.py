@@ -46,6 +46,10 @@ class Network:
         "switch",
         "faults",
         "deliver_trace",
+        "inflight_recorder",
+        "drops_recorder",
+        "_inflight",
+        "_drops_total",
     )
 
     def __init__(
@@ -80,6 +84,14 @@ class Network:
         #: (after all fault checks, before the callback); used by the
         #: chaos property tests to assert delivery invariants
         self.deliver_trace: Optional[DeliveryCallback] = None
+        #: optional telemetry step recorders (installed by
+        #: :class:`repro.telemetry.TelemetryCollector`; None keeps the
+        #: allocation-free fast path): in-flight message count and
+        #: cumulative dropped-message count over simulated time
+        self.inflight_recorder = None
+        self.drops_recorder = None
+        self._inflight = 0
+        self._drops_total = 0
 
     def set_latency(self, kind: MessageKind, model: LatencyModel) -> None:
         """Override the one-way latency model for one message kind."""
@@ -109,6 +121,7 @@ class Network:
         self.byte_counts[kind] = self.byte_counts.get(kind, 0) + size
         if self.drop_filter is not None and self.drop_filter(message):
             self.dropped_counts[kind] = self.dropped_counts.get(kind, 0) + 1
+            self._note_drop()
             return message
         faults = self.faults
         duplicated = False
@@ -116,6 +129,7 @@ class Network:
             verdict = faults.on_send(message)
             if verdict is None:
                 self.dropped_counts[kind] = self.dropped_counts.get(kind, 0) + 1
+                self._note_drop()
                 return message
             jitter, duplicated = verdict
             extra_delay += jitter
@@ -130,12 +144,24 @@ class Network:
             self._schedule_delivery(dup_latency, message, on_delivery)
         return message
 
+    def _note_drop(self) -> None:
+        """Record a lost message on the telemetry drop series (cold path)."""
+        recorder = self.drops_recorder
+        if recorder is not None:
+            self._drops_total += 1
+            recorder.record(self.sim.now, float(self._drops_total))
+
     def _schedule_delivery(
         self, latency: float, message: Message, on_delivery: DeliveryCallback
     ) -> None:
         """Schedule the arrival; keep the allocation-free fast path when
-        no faults/trace are installed (this is the simulator hot path)."""
-        if self.faults is None and self.deliver_trace is None:
+        no faults/trace/telemetry are installed (this is the simulator
+        hot path)."""
+        recorder = self.inflight_recorder
+        if recorder is not None:
+            self._inflight += 1
+            recorder.record(self.sim.now, float(self._inflight))
+        if self.faults is None and self.deliver_trace is None and recorder is None:
             if self.switch is not None:
                 self.sim.after(
                     latency,
@@ -158,7 +184,13 @@ class Network:
         """Final delivery gate: drop in-flight messages whose endpoints
         crashed or were partitioned away while the message travelled."""
         on_delivery, message = pair
+        recorder = self.inflight_recorder
+        if recorder is not None:
+            # The message left flight whether or not the gate blocks it.
+            self._inflight -= 1
+            recorder.record(self.sim.now, float(self._inflight))
         if self.faults is not None and self.faults.blocks_delivery(message):
+            self._note_drop()
             return
         if self.deliver_trace is not None:
             self.deliver_trace(message)

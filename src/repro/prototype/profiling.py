@@ -56,9 +56,9 @@ class _PollTap:
         def tapped(client, server_id, on_reply):
             sent_at = cluster.sim.now
 
-            def timed_reply(sid: int, qlen: int) -> None:
+            def timed_reply(sid: int, qlen: int, observed_at: float) -> None:
                 self.rtts.append(cluster.sim.now - sent_at)
-                on_reply(sid, qlen)
+                on_reply(sid, qlen, observed_at)
 
             self._inner(client, server_id, timed_reply)
 

@@ -120,6 +120,11 @@ class StepRecorder:
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         bp_t = self._times.view()
         bp_v = self._values.view()
+        if bp_t.size == 0:
+            # np.where evaluates both branches eagerly, so the fancy
+            # index below would fail on an empty recorder even though
+            # every query resolves to ``initial``.
+            return np.full(times.shape, self.initial)
         idx = np.searchsorted(bp_t, times, side="right") - 1
         out = np.where(idx >= 0, bp_v[np.clip(idx, 0, None)], self.initial)
         return out

@@ -11,8 +11,10 @@ The tracer costs one indirect call per event while attached; detach it
 
 from __future__ import annotations
 
+import warnings
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Deque, Optional
 
 import numpy as np
 
@@ -68,8 +70,11 @@ class EventTrace:
         self.capacity = capacity
         self.filter_fn = filter_fn
         self.label_fn = label_fn or _default_label
-        self._records: list[TraceRecord] = []
+        # A deque, not a list: ring eviction is popleft() — O(1) — where
+        # list.pop(0) made a full trace degrade quadratically per event.
+        self._records: Deque[TraceRecord] = deque()
         self._dropped = 0
+        self._filtered = 0
         self._attached = False
         self._previous_hook: Optional[Callable] = None
         self.attach()
@@ -93,9 +98,10 @@ class EventTrace:
         if self._previous_hook is not None:
             self._previous_hook(time, handle)
         if self.filter_fn is not None and not self.filter_fn(handle):
+            self._filtered += 1
             return
         if len(self._records) >= self.capacity:
-            self._records.pop(0)
+            self._records.popleft()
             self._dropped += 1
         self._records.append(TraceRecord(time, handle.seq, self.label_fn(handle)))
 
@@ -107,6 +113,11 @@ class EventTrace:
     def dropped(self) -> int:
         """Records evicted by the ring buffer."""
         return self._dropped
+
+    @property
+    def filtered(self) -> int:
+        """Events rejected by ``filter_fn`` (never entered the ring)."""
+        return self._filtered
 
     def records(self) -> list[TraceRecord]:
         return list(self._records)
@@ -122,16 +133,37 @@ class EventTrace:
         return [r for r in self._records if t0 <= r.time < t1]
 
     def rate(self, window: float) -> float:
-        """Mean events/second over the last ``window`` simulated seconds."""
+        """Mean recorded events/second over the last ``window`` simulated
+        seconds.
+
+        Returns ``nan`` (with a ``RuntimeWarning``) when the window
+        extends past the oldest retained record while events have been
+        dropped — by ring eviction or ``filter_fn`` — because the count
+        inside the window can then silently undershoot the truth. Widen
+        ``capacity`` or shrink ``window`` to get a trustworthy rate.
+        """
         if window <= 0:
             raise ValueError(f"window must be > 0, got {window}")
         cutoff = self.sim.now - window
-        recent = sum(1 for r in self._records if r.time >= cutoff)
+        records = self._records
+        if (self._dropped or self._filtered) and (
+            not records or records[0].time > cutoff
+        ):
+            warnings.warn(
+                f"EventTrace.rate(window={window!r}): window extends past the "
+                f"oldest retained record but {self._dropped} record(s) were "
+                f"evicted and {self._filtered} filtered — the rate would "
+                "silently undercount; returning nan",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return float("nan")
+        recent = sum(1 for r in records if r.time >= cutoff)
         return recent / window
 
     def dump(self, limit: int = 50) -> str:
         """The last ``limit`` records, one per line."""
-        lines = [str(record) for record in self._records[-limit:]]
+        lines = [str(record) for record in list(self._records)[-limit:]]
         if self._dropped:
             lines.insert(0, f"... ({self._dropped} earlier records dropped)")
         return "\n".join(lines)

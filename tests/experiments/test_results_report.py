@@ -80,3 +80,64 @@ def test_format_series():
     assert "s1" in text and "-" in text
     lines = text.splitlines()
     assert len(lines) == 4  # header, rule, two rows
+
+
+def test_pivot_numeric_columns_sort_numerically():
+    # Regression: key=str rendered poll sizes {2, 10} as "10, 2".
+    table = ResultTable(["load", "d", "resp"])
+    for d in (10, 2, 3):
+        table.add(load=0.9, d=d, resp=float(d))
+    wide = table.pivot(index="load", column="d", value="resp")
+    assert wide.columns == ["load", "2", "3", "10"]
+
+
+def test_pivot_mixed_types_fall_back_to_str_order():
+    table = ResultTable(["i", "c", "v"])
+    table.add(i=1, c=2, v=1.0)
+    table.add(i=1, c="b", v=2.0)
+    wide = table.pivot("i", "c", "v")  # incomparable int/str: no raise
+    assert wide.columns == ["i", "2", "b"]
+
+
+def test_staleness_response_table_buckets():
+    from repro.experiments import staleness_response_table
+
+    rng = __import__("numpy").random.default_rng(0)
+    staleness = rng.uniform(1e-4, 5e-4, size=200)
+    resp = 0.01 + staleness * 10 + rng.uniform(0, 1e-4, size=200)
+    text = staleness_response_table(staleness, resp, n_bins=4)
+    lines = text.splitlines()
+    assert lines[0].split()[:2] == ["staleness", "n"]
+    assert len(lines) == 2 + 4  # header + rule + 4 quantile buckets
+    assert "(no info)" not in text
+
+
+def test_staleness_response_table_no_info_row():
+    import numpy as np
+
+    from repro.experiments import staleness_response_table
+
+    staleness = np.array([1e-4, np.nan, np.nan])
+    resp = np.array([0.01, 0.02, 0.03])
+    text = staleness_response_table(staleness, resp)
+    assert "(no info)" in text
+
+
+def test_staleness_response_table_empty():
+    import numpy as np
+
+    from repro.experiments import staleness_response_table
+
+    empty = np.array([])
+    assert "no measured requests" in staleness_response_table(empty, empty)
+
+
+def test_staleness_response_table_validation():
+    import numpy as np
+
+    from repro.experiments import staleness_response_table
+
+    with pytest.raises(ValueError):
+        staleness_response_table(np.zeros(2), np.zeros(3))
+    with pytest.raises(ValueError):
+        staleness_response_table(np.zeros(2), np.zeros(2), n_bins=0)

@@ -111,6 +111,50 @@ def test_time_average_invalid_window():
         rec.time_average(3.0, 3.0)
 
 
+def test_value_at_empty_recorder_returns_initial():
+    # Regression: np.where evaluates both branches, so the fancy index
+    # used to raise IndexError on a recorder with no breakpoints.
+    rec = StepRecorder(initial=3.5)
+    values = rec.value_at(np.array([0.0, 1.0, 100.0]))
+    assert values.tolist() == [3.5, 3.5, 3.5]
+
+
+def test_time_average_breakpoint_exactly_at_t0():
+    rec = StepRecorder(initial=0.0)
+    rec.record(1.0, 5.0)
+    rec.record(2.0, 9.0)
+    # Breakpoint at t0: the [1,2) segment value (5) is in force from t0.
+    assert rec.time_average(1.0, 3.0) == pytest.approx(7.0)
+
+
+def test_time_average_breakpoint_exactly_at_t1():
+    rec = StepRecorder(initial=0.0)
+    rec.record(1.0, 5.0)
+    rec.record(3.0, 9.0)
+    # A breakpoint at t1 contributes zero duration to [t0, t1].
+    assert rec.time_average(1.0, 3.0) == pytest.approx(5.0)
+
+
+def test_time_average_window_before_first_breakpoint():
+    rec = StepRecorder(initial=2.0)
+    rec.record(10.0, 7.0)
+    assert rec.time_average(0.0, 4.0) == pytest.approx(2.0)
+
+
+def test_time_average_matches_value_at_segments():
+    # Property: the time average equals the duration-weighted dot
+    # product of value_at sampled at segment midpoints (exact for step
+    # functions — hypothesis version below explores random shapes).
+    rec = StepRecorder(initial=1.0)
+    for t, v in [(0.5, 2.0), (1.25, 0.0), (4.0, 6.0)]:
+        rec.record(t, v)
+    t0, t1 = 0.0, 5.0
+    cuts = np.array([t0, 0.5, 1.25, 4.0, t1])
+    mids = (cuts[:-1] + cuts[1:]) / 2
+    expected = float(np.dot(rec.value_at(mids), np.diff(cuts)) / (t1 - t0))
+    assert rec.time_average(t0, t1) == pytest.approx(expected)
+
+
 def test_breakpoints_views():
     rec = StepRecorder()
     rec.record(1.0, 2.0)

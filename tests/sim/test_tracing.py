@@ -93,6 +93,67 @@ def test_between_and_rate():
         trace.rate(0.0)
 
 
+def test_filtered_counter():
+    sim = Simulator()
+    trace = EventTrace(sim, filter_fn=lambda h: "keep" in getattr(h.fn, "__qualname__", ""))
+    sim.after(1.0, named("keep"))
+    sim.after(2.0, named("skip"))
+    sim.after(3.0, named("skip_too"))
+    sim.run()
+    assert trace.filtered == 2
+    assert trace.dropped == 0
+
+
+def test_rate_nan_when_eviction_reaches_into_window():
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=2)
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.after(t, named(f"t{t}"))
+    sim.run()
+    # Window [1, 4] extends past the oldest retained record (t=3.0)
+    # while two records were evicted: the count would undershoot.
+    with pytest.warns(RuntimeWarning, match="undercount"):
+        assert trace.rate(window=3.0) != trace.rate(window=3.0)  # nan != nan
+
+
+def test_rate_trustworthy_despite_eviction_outside_window():
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=2)
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.after(t, named(f"t{t}"))
+    sim.run()
+    # Window [3, 4] starts at the oldest retained record: nothing that
+    # was evicted could have fallen inside it, so the rate is exact.
+    assert trace.rate(window=1.0) == pytest.approx(2.0)
+
+
+def test_rate_nan_when_filtering_dropped_events():
+    sim = Simulator()
+    trace = EventTrace(sim, filter_fn=lambda h: "keep" in getattr(h.fn, "__qualname__", ""))
+    sim.after(1.0, named("skip"))
+    sim.after(2.0, named("keep"))
+    sim.run()
+    with pytest.warns(RuntimeWarning):
+        rate = trace.rate(window=2.0)
+    assert rate != rate
+
+
+def test_trace_capacity_is_not_quadratic():
+    # Regression guard for the list.pop(0) eviction: a full ring must
+    # keep evicting in O(1). 20k events over a capacity-16 ring finishes
+    # instantly with a deque; the old list implementation was visibly
+    # quadratic at this size.
+    sim = Simulator()
+    trace = EventTrace(sim, capacity=16)
+    fn = named("e")
+    for i in range(20_000):
+        sim.after(float(i), fn)
+    sim.run()
+    assert len(trace) == 16
+    assert trace.dropped == 20_000 - 16
+    assert trace.labels()[-1] == "e"
+
+
 def test_dump_renders():
     sim = Simulator()
     trace = EventTrace(sim, capacity=2)

@@ -123,3 +123,38 @@ def test_parity_command_small(tmp_path, capsys, monkeypatch):
     assert main(["parity", "--requests", "300", "--serial"]) == 0
     out = capsys.readouterr().out
     assert "engine parity: OK" in out
+
+
+def test_policy_param_parsing():
+    from repro.cli import _parse_policy_params
+
+    params = _parse_policy_params(
+        ["poll_size=3", "discard_slow=true", "mean_interval=0.1", "name=x"]
+    )
+    assert params == {
+        "poll_size": 3, "discard_slow": True, "mean_interval": 0.1, "name": "x",
+    }
+    with pytest.raises(SystemExit):
+        _parse_policy_params(["oops"])
+
+
+def test_trace_command_small(capsys, tmp_path):
+    out_dir = tmp_path / "telemetry"
+    assert main(["trace", "--requests", "200", "--seed", "0", "--no-cache",
+                 "--export-dir", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "request-lifecycle telemetry" in out
+    assert "staleness" in out
+    assert "schema validated" in out
+    assert (out_dir / "spans.jsonl").exists()
+    assert (out_dir / "series.csv").exists()
+    assert (out_dir / "accounting.json").exists()
+
+
+def test_trace_command_policy_params(capsys):
+    assert main(["trace", "--requests", "200", "--seed", "1", "--no-cache",
+                 "--policy", "broadcast",
+                 "--policy-param", "mean_interval=0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "broadcast(mean_interval=0.05)" in out
+    assert "broadcasts_sent" in out
