@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke telemetry-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke telemetry-smoke resilience-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ chaos-smoke:
 # re-read and validated against the schema by the trace command itself.
 telemetry-smoke:
 	$(PYTHON) -m repro trace --quick --seed 0 --export-dir .telemetry-smoke
+
+# Tiny naive-vs-hardened reliability comparison under identical fault
+# schedules; the second invocation must be served from the result cache.
+resilience-smoke:
+	$(PYTHON) -m repro resilience --quick --seed 0
+	$(PYTHON) -m repro resilience --quick --seed 0
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -12,6 +12,7 @@ Usage::
     python -m repro messages
     python -m repro parity
     python -m repro chaos --quick
+    python -m repro resilience --quick
     python -m repro trace --policy broadcast --policy-param mean_interval=0.1
     python -m repro list
 
@@ -50,6 +51,7 @@ _QUICK_REQUESTS = {
     "compare": 600,
     "parity": 800,
     "chaos": 600,
+    "resilience": 600,
     "trace": 800,
 }
 
@@ -188,6 +190,20 @@ def _chaos(args) -> str:
     return data.render()
 
 
+def _resilience(args) -> str:
+    """Naive vs hardened reliability under identical fault schedules."""
+    data = figures.resilience_comparison(
+        n_requests=args.requests or 6_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
+    )
+    out = data.render()
+    comparison = data.extras["comparison"]
+    if comparison:
+        out += "\n\n== per-cell deltas (identical fault schedules) ==\n"
+        out += "\n".join(comparison)
+    return out
+
+
 def _trace(args) -> str:
     """Telemetry run: lifecycle spans, staleness report, sampled series."""
     import numpy as np
@@ -273,6 +289,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "compare": (_compare, "policy comparison with confidence intervals"),
     "parity": (_parity, "heap vs calendar engine determinism check"),
     "chaos": (_chaos, "chaos campaign: resilience under injected faults"),
+    "resilience": (_resilience, "naive vs hardened reliability layer under chaos"),
     "trace": (_trace, "request-lifecycle telemetry + staleness report"),
 }
 

@@ -34,6 +34,11 @@ from repro.cluster.failures import (
     FailureInjector,
     resilience_counters,
 )
+from repro.cluster.reliability import (
+    CircuitBreaker,
+    ReliabilityEngine,
+    ReliabilityPolicy,
+)
 from repro.cluster.system import ClusterMetrics, ServiceCluster
 
 __all__ = [
@@ -49,7 +54,10 @@ __all__ = [
     "ClusterMetrics",
     "FailureInjector",
     "resilience_counters",
+    "CircuitBreaker",
     "PartitionMap",
+    "ReliabilityEngine",
+    "ReliabilityPolicy",
     "Request",
     "ServerNode",
     "ServiceCluster",

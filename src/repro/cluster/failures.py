@@ -315,12 +315,15 @@ def resilience_counters(
         "messages_duplicated": float(faults.total_duplicated()),
         "messages_partition_dropped": float(faults.total_partition_dropped()),
         "request_timeouts_fired": float(cluster.request_timeouts_fired),
+        "server_loss_retries": float(cluster.server_loss_retries),
         "duplicate_deliveries_ignored": float(cluster.duplicate_deliveries_ignored),
         "stale_responses_ignored": float(cluster.stale_responses_ignored),
         "total_retries": float(int(metrics.retries.sum())),
         "requests_lost": float(int(metrics.failed.sum())),
         "n_chaos_events": float(len(injector.events)),
     }
+    if cluster.reliability is not None:
+        counters.update(cluster.reliability.counters())
     completed = np.isfinite(metrics.response_time) & ~metrics.failed
     arrivals = metrics.arrival_time[completed]
     completions = arrivals + metrics.response_time[completed]

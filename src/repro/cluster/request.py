@@ -40,6 +40,7 @@ class Request:
         "done",
         "queued_at",
         "decision",
+        "hedge",
     )
 
     def __init__(self, index: int, client_id: int, service_time: float, arrival_time: float):
@@ -68,6 +69,12 @@ class Request:
         #: :meth:`repro.telemetry.TelemetryCollector.note_decision`;
         #: always None when telemetry is disabled
         self.decision = None
+        #: back-pointer from a hedge copy to its primary request; None
+        #: for ordinary requests. Copies share the primary's ``index``
+        #: but carry their own ``done``/``queued_at`` guards so the
+        #: duplicate-suppression machinery works per copy (see
+        #: :mod:`repro.cluster.reliability`)
+        self.hedge = None
 
     @property
     def poll_time(self) -> float:

@@ -187,6 +187,20 @@ class ServerNode:
                 now + (handle.time - now) * ratio, self._complete, handle.arg
             )
 
+    def remove_queued(self, request: Request) -> bool:
+        """Pull a still-queued request out of the queue (hedge loser
+        cancellation). Returns False when the request is not waiting here
+        (already started service, completed, or drained)."""
+        if request.queued_at != self.node_id or request.index in self.in_service:
+            return False
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            return False
+        request.queued_at = -1
+        self._record_queue()
+        return True
+
     # ------------------------------------------------------------------
     def drain(self) -> list[Request]:
         """Remove and return all queued and in-service requests (crash).

@@ -41,6 +41,7 @@ from repro.sim.engine import EventHandle, SimulationError
 from repro.sim.rng import RngHub
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.reliability import ReliabilityPolicy
     from repro.core.base import LoadBalancer
 
 __all__ = ["ServiceCluster", "ClusterMetrics"]
@@ -150,6 +151,16 @@ class ServiceCluster:
         experiments); when False (default), membership is static.
     request_timeout / max_retries:
         Client-side loss recovery (used with failures).
+    reselect_delay:
+        Wait before re-selecting after a ``NoCandidatesError`` (every
+        server's soft state expired). Defaults to ``request_timeout``
+        when one is set, else to 5× the workload's mean service time
+        (derived in :meth:`load_workload`).
+    reliability:
+        Optional :class:`repro.cluster.reliability.ReliabilityPolicy`
+        — deadline budgets, backoff, retry budgets, hedging, breakers.
+        ``None`` (or an all-default policy) keeps the naive lifecycle
+        bit-identical to a cluster built without the parameter.
     engine:
         Event-queue implementation ("heap" or "calendar"); both give
         bit-identical results (see :mod:`repro.sim.calendar`).
@@ -172,6 +183,8 @@ class ServiceCluster:
         request_timeout: Optional[float] = None,
         max_retries: int = 5,
         server_max_queue: Optional[int] = None,
+        reselect_delay: Optional[float] = None,
+        reliability: Optional["ReliabilityPolicy"] = None,
         engine: str = "heap",
     ):
         if n_servers < 1:
@@ -188,6 +201,12 @@ class ServiceCluster:
         self.n_clients = n_clients
         self.request_timeout = request_timeout
         self.max_retries = max_retries
+        if reselect_delay is not None and reselect_delay <= 0:
+            raise ValueError(f"reselect_delay must be > 0, got {reselect_delay}")
+        self._reselect_delay = reselect_delay
+        #: fallback for the derived re-select delay until load_workload
+        #: computes one from the workload's mean service time
+        self._derived_reselect_delay = 0.1
 
         self.network = Network(
             self.sim, self.rng_hub.stream("net.latency"),
@@ -273,6 +292,9 @@ class ServiceCluster:
         # Resilience accounting (chaos campaigns read these).
         #: client-side request timeouts that actually triggered a retry
         self.request_timeouts_fired = 0
+        #: retries triggered by a server crash/drain (distinct from
+        #: timeout-driven retries, so chaos reports can attribute them)
+        self.server_loss_retries = 0
         #: duplicated/stale REQUEST deliveries discarded (a copy of the
         #: request was already queued somewhere, or it already finished)
         self.duplicate_deliveries_ignored = 0
@@ -287,6 +309,14 @@ class ServiceCluster:
         #: touch point guards with ``is not None`` (zero overhead off,
         #: same pattern as ``Simulator.trace``)
         self.telemetry = None
+        #: optional :class:`repro.cluster.reliability.ReliabilityEngine`
+        #: — installed only when a policy with at least one mechanism
+        #: enabled is passed, so naive runs take identical code paths
+        self.reliability = None
+        if reliability is not None and reliability.enabled:
+            from repro.cluster.reliability import ReliabilityEngine
+
+            self.reliability = ReliabilityEngine(self, reliability)
 
         self.policy = policy
         policy.bind(self)
@@ -299,10 +329,34 @@ class ServiceCluster:
         return self.rng_hub.stream(name)
 
     def available_servers(self, client: ClientNode) -> list[int]:
-        """Candidate server ids for this client's next access."""
+        """Candidate server ids for this client's next access.
+
+        Soft-state membership first (when the availability subsystem is
+        on), then circuit-breaker filtering (when the reliability layer
+        has breakers): a breaker reacts to consecutive failures within
+        milliseconds while soft-state expiry needs a full TTL.
+        """
         if not self.availability_enabled:
-            return self._static_members
-        return self.mapping_tables[client.node_id].available(DEFAULT_SERVICE, 0)
+            members = self._static_members
+        else:
+            members = self.mapping_tables[client.node_id].available(DEFAULT_SERVICE, 0)
+        if self.reliability is not None:
+            return list(self.reliability.filter_candidates(members))
+        return members
+
+    def client_for(self, request: Request) -> ClientNode:
+        """The client node that originated ``request`` (node ids for
+        clients continue after server ids)."""
+        return self.clients[(request.client_id - self.n_servers) % self.n_clients]
+
+    @property
+    def reselect_delay(self) -> float:
+        """Delay before re-selecting after an empty candidate set."""
+        if self._reselect_delay is not None:
+            return self._reselect_delay
+        if self.request_timeout is not None:
+            return self.request_timeout
+        return self._derived_reselect_delay
 
     def poll_server(
         self,
@@ -387,16 +441,30 @@ class ServiceCluster:
             request,
             self._deliver_request,
         )
-        if self.request_timeout is not None:
-            # Replace (never stack) the attempt timeout: the deadline is
-            # measured from this dispatch, superseding any select-phase
-            # timeout armed by _safe_select.
-            old = self._timeout_handles.pop(request.index, None)
-            if old is not None:
-                self.sim.cancel(old)
-            self._timeout_handles[request.index] = self.sim.after(
-                self.request_timeout, self._on_request_timeout, request
-            )
+        # Replace (never stack) the attempt timeout: the deadline is
+        # measured from this dispatch, superseding any select-phase
+        # timeout armed by _safe_select.
+        self._arm_attempt_timeout(request)
+        if self.reliability is not None:
+            self.reliability.on_dispatch(client, request, server_id)
+
+    def _arm_attempt_timeout(self, request: Request) -> None:
+        """(Re-)arm the per-attempt timeout: the flat ``request_timeout``
+        when the reliability layer is off, the deadline-budget share
+        otherwise. No-op when neither is configured."""
+        timeout = (
+            self.request_timeout
+            if self.reliability is None
+            else self.reliability.attempt_timeout(request)
+        )
+        if timeout is None:
+            return
+        old = self._timeout_handles.pop(request.index, None)
+        if old is not None:
+            self.sim.cancel(old)
+        self._timeout_handles[request.index] = self.sim.after(
+            timeout, self._on_request_timeout, request
+        )
 
     # ------------------------------------------------------------------
     # lifecycle internals
@@ -411,6 +479,13 @@ class ServiceCluster:
         self._arrival_times = np.cumsum(gaps)
         extra = 0.0 if self.overhead is None else self.overhead.request_cpu_overhead
         self._service_times = service_times + extra
+        # Default NoCandidates re-select delay, used only when neither
+        # reselect_delay nor request_timeout is configured: a few mean
+        # service times, not a flat 100 ms (which is ~20x the mean
+        # service time of a fine-grain request).
+        mean_service = float(self._service_times.mean())
+        if mean_service > 0.0:
+            self._derived_reselect_delay = 5.0 * mean_service
         self.metrics = ClusterMetrics(self.n_requests)
         self._completed = 0
 
@@ -462,21 +537,14 @@ class ServiceCluster:
         """
         from repro.core.base import NoCandidatesError
 
-        if self.request_timeout is not None:
-            old = self._timeout_handles.pop(request.index, None)
-            if old is not None:
-                self.sim.cancel(old)
-            self._timeout_handles[request.index] = self.sim.after(
-                self.request_timeout, self._on_request_timeout, request
-            )
+        self._arm_attempt_timeout(request)
         try:
             self.policy.select(client, request)
         except NoCandidatesError:
             handle = self._timeout_handles.pop(request.index, None)
             if handle is not None:
                 self.sim.cancel(handle)
-            delay = self.request_timeout if self.request_timeout is not None else 0.1
-            self.sim.after(delay, self._retry, request)
+            self.sim.after(self.reselect_delay, self._retry, request)
 
     def _deliver_request(self, message: Message) -> None:
         server = self.servers[message.dst]
@@ -487,10 +555,24 @@ class ServiceCluster:
             # a finished request never re-enters service.
             self.duplicate_deliveries_ignored += 1
             return
+        if self.reliability is not None and self.reliability.copy_collides(
+            request, server.node_id
+        ):
+            # A sibling copy (primary or hedge) of the same request is
+            # already held by this server; two copies sharing an index
+            # must never coexist in one server's bookkeeping.
+            self.duplicate_deliveries_ignored += 1
+            return
         if not server.alive:
             self.handle_server_loss(request)
             return
         if not server.enqueue(request):
+            if self.reliability is not None and self.reliability.is_clone(request):
+                # A rejected hedge copy is simply dropped — it must not
+                # touch the primary's timeout handle (shared index) or
+                # spawn a parallel retry lifecycle.
+                self.reliability.on_clone_lost(request)
+                return
             # Admission control rejected: cancel any pending timeout and
             # retry elsewhere (counts against max_retries).
             handle = self._timeout_handles.pop(request.index, None)
@@ -508,25 +590,39 @@ class ServiceCluster:
         )
 
     def _deliver_response(self, message: Message) -> None:
-        request: Request = message.payload
-        if request.done:
+        winner: Request = message.payload
+        # Hedge copies resolve to their primary: the outcome is recorded
+        # exactly once against the canonical object, whichever copy's
+        # response arrived first.
+        request = winner if self.reliability is None else self.reliability.primary_of(winner)
+        if winner.done or request.done:
             # Duplicated RESPONSE, or a late response for a request that
-            # already completed/failed via a retry path: never record a
-            # second outcome for the same request.
+            # already completed/failed via a retry path (possibly via a
+            # sibling hedge copy): never record a second outcome.
             self.stale_responses_ignored += 1
             return
+        winner.done = True
         request.done = True
         handle = self._timeout_handles.pop(request.index, None)
         if handle is not None:
             self.sim.cancel(handle)
-        request.response_time = self.sim.now - request.arrival_time
+        winner.response_time = self.sim.now - winner.arrival_time
+        if winner is not request:
+            # Fold the winning copy's outcome into the primary record.
+            request.response_time = winner.response_time
+            request.enqueue_time = winner.enqueue_time
+            request.start_time = winner.start_time
+            request.completion_time = winner.completion_time
+            request.server_id = winner.server_id
         assert self.metrics is not None
         self.metrics.record(request)
         if self.telemetry is not None:
             self.telemetry.on_request_complete(request)
         self._completed += 1
-        client = self.clients[(request.client_id - self.n_servers) % self.n_clients]
+        client = self.client_for(request)
         self.policy.notify_complete(client, request)
+        if self.reliability is not None:
+            self.reliability.on_complete(request, winner)
         if self._completed >= self.n_requests and self._runner_active:
             raise _RunComplete
 
@@ -535,21 +631,41 @@ class ServiceCluster:
         if request.done:
             return
         self.request_timeouts_fired += 1
+        if self.reliability is not None:
+            self.reliability.on_attempt_failure(request)
         self._retry(request)
 
     def handle_server_loss(self, request: Request) -> None:
         """A server crashed with this request queued/in flight."""
+        if self.reliability is not None and self.reliability.is_clone(request):
+            # A hedge copy hit a dead server: drop the copy; the primary
+            # request's own timeout/deadline machinery recovers. (Must
+            # not fall through to _retry — a clone shares the primary's
+            # index, so it would cancel the primary's timeout handle.)
+            self.reliability.on_clone_lost(request)
+            return
+        self.server_loss_retries += 1
         handle = self._timeout_handles.pop(request.index, None)
         if handle is not None:
             self.sim.cancel(handle)
+        if self.reliability is not None:
+            self.reliability.on_attempt_failure(request)
         self._retry(request)
 
     def _retry(self, request: Request) -> None:
         if request.done:
             return
+        if self.reliability is not None and self.reliability.is_clone(request):
+            # Admission-control rejection of a hedge copy: drop the
+            # copy, never spawn a parallel retry lifecycle for it.
+            self.reliability.on_clone_lost(request)
+            return
         request.retries += 1
-        client = self.clients[(request.client_id - self.n_servers) % self.n_clients]
-        if request.retries > self.max_retries:
+        client = self.client_for(request)
+        if request.retries > self.max_retries or (
+            self.reliability is not None
+            and self.reliability.should_fail_fast(request)
+        ):
             request.done = True
             request.failed = True
             request.response_time = math.nan
@@ -557,11 +673,25 @@ class ServiceCluster:
             self.metrics.record(request)
             if self.telemetry is not None:
                 self.telemetry.on_request_complete(request)
+            if self.reliability is not None:
+                self.reliability.on_terminal(request)
             self._completed += 1
             if self._completed >= self.n_requests and self._runner_active:
                 raise _RunComplete
             return
+        if self.reliability is not None:
+            self.reliability.on_retry(request)
+            delay = self.reliability.backoff_delay(request)
+            if delay > 0.0:
+                self.sim.after(delay, self._reselect, request)
+                return
         self._safe_select(client, request)
+
+    def _reselect(self, request: Request) -> None:
+        """Run the deferred (post-backoff) re-selection for a retry."""
+        if request.done:
+            return
+        self._safe_select(self.client_for(request), request)
 
     # ------------------------------------------------------------------
     def total_stolen_cpu(self) -> float:

@@ -30,6 +30,7 @@ from repro.experiments.replication import (
     replicate,
 )
 from repro.experiments.io import (
+    load_attempts_jsonl,
     load_results,
     load_spans_jsonl,
     save_results,
@@ -40,15 +41,18 @@ from repro.experiments.cache import ResultCache, config_key, default_cache_dir
 from repro.experiments.executor import SweepExecutor, SweepStats
 from repro.experiments.parity import EngineParityReport, engine_parity, parity_suite
 from repro.experiments.chaos import (
+    NAIVE_VS_HARDENED,
     ResilienceReport,
     chaos_campaign,
     chaos_cluster_params,
     chaos_params_for,
+    hardened_reliability_params,
 )
 from repro.experiments import figures, regression
 
 __all__ = [
     "EngineParityReport",
+    "NAIVE_VS_HARDENED",
     "ReplicatedResult",
     "ResilienceReport",
     "ResultCache",
@@ -67,6 +71,8 @@ __all__ = [
     "engine_parity",
     "figures",
     "format_table",
+    "hardened_reliability_params",
+    "load_attempts_jsonl",
     "load_results",
     "load_spans_jsonl",
     "parallel_sweep",

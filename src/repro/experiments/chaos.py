@@ -31,10 +31,13 @@ from repro.experiments.runner import SimulationResult, parallel_sweep
 __all__ = [
     "DEFAULT_INTENSITIES",
     "DEFAULT_POLICIES",
+    "DEFAULT_RELIABILITY_MODES",
+    "NAIVE_VS_HARDENED",
     "ResilienceReport",
     "chaos_campaign",
     "chaos_cluster_params",
     "chaos_params_for",
+    "hardened_reliability_params",
 ]
 
 #: (label, policy, policy_params) triples the default campaign compares:
@@ -48,6 +51,39 @@ DEFAULT_POLICIES: tuple[tuple[str, str, dict], ...] = (
 
 #: fault intensity grid: 0 = fault-free baseline, 1 = full chaos
 DEFAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.5, 1.0)
+
+
+def hardened_reliability_params() -> dict[str, Any]:
+    """The canonical hardened :class:`~repro.cluster.reliability.
+    ReliabilityPolicy` knobs for naive-vs-hardened comparisons.
+
+    Hedging at the p90 of observed response times recovers lost
+    requests/responses at millisecond scale instead of waiting out the
+    full client timeout; breakers (4 consecutive failures, 300 ms
+    cooldown) route around crashed/partitioned servers faster than the
+    availability TTL expires their soft state. The values were tuned
+    empirically: lower breaker thresholds trip on random message loss
+    and *hurt*, higher ones react too slowly to storms.
+    """
+    return {
+        "hedge_quantile": 0.9,
+        "breaker_threshold": 4,
+        "breaker_cooldown": 0.3,
+    }
+
+
+#: (label, reliability_params) pairs for the campaign's reliability
+#: axis; the default single naive mode keeps legacy campaign output
+#: (labels, row counts) unchanged
+DEFAULT_RELIABILITY_MODES: tuple[tuple[str, dict], ...] = (("naive", {}),)
+
+#: the two-mode axis for naive-vs-hardened comparisons (the hardened
+#: leg runs the exact same fault schedule: chaos schedules derive from
+#: the seed, not from the reliability layer's substreams)
+NAIVE_VS_HARDENED: tuple[tuple[str, dict], ...] = (
+    ("naive", {}),
+    ("hardened", hardened_reliability_params()),
+)
 
 
 def chaos_cluster_params(
@@ -94,13 +130,52 @@ def chaos_params_for(intensity: float, n_servers: int = 16) -> dict[str, Any]:
 
 @dataclass
 class ResilienceReport:
-    """The campaign's output: one row per (policy, intensity) cell."""
+    """The campaign's output: one row per (mode, policy, intensity) cell."""
 
     table: ResultTable
     results: list[SimulationResult] = field(default_factory=list)
 
+    def mode_comparison(self) -> list[str]:
+        """Per-cell deltas of every hardened mode against ``naive``.
+
+        Empty when the campaign ran a single reliability mode (nothing
+        to compare) or has no ``naive`` leg.
+        """
+        by_mode: dict[str, dict[tuple, dict]] = {}
+        for row in self.table.rows:
+            mode = row.get("mode", "naive")
+            by_mode.setdefault(mode, {})[(row["policy"], row["intensity"])] = row
+        naive = by_mode.get("naive")
+        if naive is None or len(by_mode) < 2:
+            return []
+        lines = []
+        for mode, cells in by_mode.items():
+            if mode == "naive":
+                continue
+            for key, row in cells.items():
+                base = naive.get(key)
+                if base is None or key[1] == 0.0:
+                    continue
+                policy, intensity = key
+                delta = (
+                    (row["p95_ms"] - base["p95_ms"]) / base["p95_ms"] * 100.0
+                    if base["p95_ms"] > 0
+                    else math.nan
+                )
+                lines.append(
+                    f"{mode} vs naive | {policy} I={intensity:g}: "
+                    f"p95 {base['p95_ms']:.1f} -> {row['p95_ms']:.1f} ms "
+                    f"({delta:+.0f}%), lost {base['lost']} -> {row['lost']}"
+                )
+        return lines
+
     def render(self) -> str:
-        return f"== Chaos campaign: resilience report ==\n{self.table.render()}"
+        out = f"== Chaos campaign: resilience report ==\n{self.table.render()}"
+        comparison = self.mode_comparison()
+        if comparison:
+            out += "\n\n== Reliability modes (identical fault schedules) ==\n"
+            out += "\n".join(comparison)
+        return out
 
 
 def chaos_campaign(
@@ -112,39 +187,52 @@ def chaos_campaign(
     n_requests: int = 6_000,
     seed: int = 0,
     cluster_params: Optional[dict[str, Any]] = None,
+    reliability_modes: Sequence[tuple[str, dict]] = DEFAULT_RELIABILITY_MODES,
     parallel: bool = True,
     max_workers: Optional[int] = None,
     cache=None,
     engine: Optional[str] = None,
     archive: Optional[str] = None,
 ) -> ResilienceReport:
-    """Run the policy × intensity grid and build the resilience report.
+    """Run the mode × policy × intensity grid, build the resilience report.
 
     Each row reports the standard latency statistics plus the chaos
     counters and ``vs_baseline`` — mean response time normalized to the
-    same policy's intensity-0 row. ``archive`` (a path) additionally
-    saves every result in the standard archive format.
+    same (mode, policy)'s intensity-0 row. ``reliability_modes`` adds a
+    reliability axis — e.g. :data:`NAIVE_VS_HARDENED` runs every cell
+    twice, naive and hardened, under *identical* fault schedules (chaos
+    schedules derive from the seed substreams, which the reliability
+    layer never touches). ``archive`` (a path) additionally saves every
+    result in the standard archive format.
     """
     params = cluster_params if cluster_params is not None else chaos_cluster_params()
+    modes = list(reliability_modes)
     configs: list[SimulationConfig] = []
-    keys: list[tuple[str, float]] = []
-    for label, policy, policy_params in policies:
-        for intensity in intensities:
-            configs.append(
-                SimulationConfig(
-                    policy=policy,
-                    policy_params=dict(policy_params),
-                    workload=workload,
-                    load=load,
-                    n_servers=n_servers,
-                    n_requests=n_requests,
-                    seed=seed,
-                    cluster_params=dict(params),
-                    chaos_params=chaos_params_for(intensity, n_servers),
-                    label=f"chaos {label} I={intensity:g}",
+    keys: list[tuple[str, str, float]] = []
+    for mode_label, reliability_params in modes:
+        for label, policy, policy_params in policies:
+            for intensity in intensities:
+                # The single-mode (legacy) grid keeps its historical
+                # labels so archives/caches stay addressable.
+                run_label = f"chaos {label} I={intensity:g}"
+                if len(modes) > 1:
+                    run_label += f" {mode_label}"
+                configs.append(
+                    SimulationConfig(
+                        policy=policy,
+                        policy_params=dict(policy_params),
+                        workload=workload,
+                        load=load,
+                        n_servers=n_servers,
+                        n_requests=n_requests,
+                        seed=seed,
+                        cluster_params=dict(params),
+                        chaos_params=chaos_params_for(intensity, n_servers),
+                        reliability_params=dict(reliability_params),
+                        label=run_label,
+                    )
                 )
-            )
-            keys.append((label, float(intensity)))
+                keys.append((mode_label, label, float(intensity)))
 
     if parallel:
         with SweepExecutor(max_workers=max_workers, cache=cache, engine=engine) as pool:
@@ -155,42 +243,56 @@ def chaos_campaign(
     by_key = dict(zip(keys, results))
     table = ResultTable(
         [
+            "mode",
             "policy",
             "intensity",
             "mean_ms",
             "p95_ms",
             "timeouts",
+            "crash_retries",
             "retries",
             "lost",
+            "fail_fast",
+            "hedge_wins",
+            "breaker_opens",
             "msg_lost",
             "msg_dup",
             "recovery_ms",
             "vs_baseline",
         ]
     )
-    for label, _, _ in policies:
-        baseline = by_key[(label, float(intensities[0]))]
-        for intensity in intensities:
-            result = by_key[(label, float(intensity))]
-            counters = result.chaos_counters
-            base = baseline.mean_response_time
-            table.add(
-                policy=label,
-                intensity=float(intensity),
-                mean_ms=result.mean_response_time_ms,
-                p95_ms=result.p95_response_time * 1e3,
-                timeouts=int(counters.get("request_timeouts_fired", 0)),
-                retries=int(counters.get("total_retries", 0)),
-                lost=int(counters.get("requests_lost", 0)),
-                msg_lost=int(counters.get("messages_lost", 0)),
-                msg_dup=int(counters.get("messages_duplicated", 0)),
-                recovery_ms=counters.get("recovery_max_s", 0.0) * 1e3,
-                vs_baseline=(
-                    result.mean_response_time / base
-                    if math.isfinite(base) and base > 0
-                    else math.nan
-                ),
-            )
+    for mode_label, _ in modes:
+        for label, _, _ in policies:
+            baseline = by_key[(mode_label, label, float(intensities[0]))]
+            for intensity in intensities:
+                result = by_key[(mode_label, label, float(intensity))]
+                counters = result.chaos_counters
+                base = baseline.mean_response_time
+                table.add(
+                    mode=mode_label,
+                    policy=label,
+                    intensity=float(intensity),
+                    mean_ms=result.mean_response_time_ms,
+                    p95_ms=result.p95_response_time * 1e3,
+                    timeouts=int(counters.get("request_timeouts_fired", 0)),
+                    crash_retries=int(counters.get("server_loss_retries", 0)),
+                    retries=int(counters.get("total_retries", 0)),
+                    lost=int(counters.get("requests_lost", 0)),
+                    fail_fast=int(
+                        counters.get("retry_budget_exhausted", 0)
+                        + counters.get("deadline_exceeded", 0)
+                    ),
+                    hedge_wins=int(counters.get("hedge_wins", 0)),
+                    breaker_opens=int(counters.get("breaker_opens", 0)),
+                    msg_lost=int(counters.get("messages_lost", 0)),
+                    msg_dup=int(counters.get("messages_duplicated", 0)),
+                    recovery_ms=counters.get("recovery_max_s", 0.0) * 1e3,
+                    vs_baseline=(
+                        result.mean_response_time / base
+                        if math.isfinite(base) and base > 0
+                        else math.nan
+                    ),
+                )
     if archive is not None:
         save_results(results, archive)
     return ResilienceReport(table=table, results=list(results))

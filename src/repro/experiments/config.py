@@ -21,6 +21,7 @@ _CLUSTER_PARAM_KEYS = frozenset(
         "max_retries",
         "server_max_queue",
         "record_server_queues",
+        "reselect_delay",
     }
 )
 
@@ -47,6 +48,25 @@ _CHAOS_PARAM_KEYS = frozenset(
 #: literal mirror of :class:`repro.telemetry.TelemetryCollector` knobs
 #: (cross-checked against the constructor by a unit test)
 _TELEMETRY_PARAM_KEYS = frozenset({"spans", "sample_interval", "max_spans"})
+
+#: literal mirror of :class:`repro.cluster.reliability.ReliabilityPolicy`
+#: field names (cross-checked against the dataclass by a unit test)
+_RELIABILITY_PARAM_KEYS = frozenset(
+    {
+        "deadline",
+        "backoff_base",
+        "backoff_mult",
+        "backoff_cap",
+        "backoff_jitter",
+        "retry_budget",
+        "retry_budget_refill",
+        "hedge_quantile",
+        "hedge_min_samples",
+        "hedge_window",
+        "breaker_threshold",
+        "breaker_cooldown",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +101,14 @@ class SimulationConfig:
     and keeps every hot path exactly as before. Telemetry never changes
     simulation results (no events, no RNG draws — DESIGN.md §10), only
     what is *recorded* about them.
+
+    ``reliability_params`` — :class:`repro.cluster.reliability.
+    ReliabilityPolicy` knobs (deadline budgets, backoff, retry budgets,
+    hedging, circuit breakers) — installs the request reliability layer
+    for the run; an empty dict (the default) keeps the naive lifecycle
+    bit-identical to pre-reliability builds (DESIGN.md §11). The field
+    participates in the result-cache key, so hardened and naive runs
+    never alias each other's cache entries.
     """
 
     policy: str = "polling"
@@ -103,6 +131,7 @@ class SimulationConfig:
     cluster_params: dict[str, Any] = field(default_factory=dict)
     chaos_params: dict[str, Any] = field(default_factory=dict)
     telemetry: dict[str, Any] = field(default_factory=dict)
+    reliability_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -127,6 +156,12 @@ class SimulationConfig:
                 f"unknown telemetry key(s): {sorted(unknown)} "
                 f"(allowed: {sorted(_TELEMETRY_PARAM_KEYS)})"
             )
+        unknown = set(self.reliability_params) - _RELIABILITY_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown reliability_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_RELIABILITY_PARAM_KEYS)})"
+            )
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")
         if self.n_requests < 10:
@@ -147,7 +182,8 @@ class SimulationConfig:
             return self.label
         params = ",".join(f"{k}={v}" for k, v in sorted(self.policy_params.items()))
         chaos = " +chaos" if self.chaos_params else ""
+        hardened = " +reliability" if self.reliability_params else ""
         return (
             f"{self.policy}({params}) {self.workload} load={self.load:.0%} "
-            f"[{self.model}]{chaos}"
+            f"[{self.model}]{chaos}{hardened}"
         )

@@ -46,6 +46,7 @@ __all__ = [
     "figure6_pollsize",
     "message_scaling_section24",
     "poll_profile_section32",
+    "resilience_comparison",
     "table1_traces",
     "table2_discard",
 ]
@@ -457,6 +458,46 @@ def chaos_resilience(
         "Chaos campaign: resilience under scaled fault intensity",
         report.table,
         extras={"report": report},
+    )
+
+
+def resilience_comparison(
+    n_requests: int = 6_000,
+    n_servers: int = 16,
+    seed: int = 0,
+    intensities: Sequence[float] = (0.0, 1.0),
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
+    archive: Optional[str] = None,
+) -> FigureData:
+    """Naive vs hardened: the reliability layer under identical faults.
+
+    Runs the chaos grid twice — once with the naive timeout/retry
+    lifecycle, once with :func:`repro.experiments.chaos.
+    hardened_reliability_params` (hedging + circuit breakers) — under
+    the exact same fault schedules, and reports the per-cell deltas
+    (DESIGN.md §11, EXPERIMENTS.md naive-vs-hardened section).
+    """
+    from repro.experiments.chaos import NAIVE_VS_HARDENED, chaos_campaign
+
+    report = chaos_campaign(
+        intensities=intensities,
+        n_requests=n_requests,
+        n_servers=n_servers,
+        seed=seed,
+        reliability_modes=NAIVE_VS_HARDENED,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        engine=engine,
+        archive=archive,
+    )
+    return FigureData(
+        "Reliability layer: naive vs hardened under identical fault schedules",
+        report.table,
+        extras={"report": report, "comparison": report.mode_comparison()},
     )
 
 

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import SimulationResult
-from repro.telemetry.spans import SPAN_FIELDS
+from repro.telemetry.spans import ATTEMPT_FIELDS, SPAN_FIELDS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import TelemetryReport
@@ -34,6 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "save_results",
     "load_results",
+    "save_attempts_jsonl",
+    "load_attempts_jsonl",
     "save_spans_jsonl",
     "load_spans_jsonl",
     "save_series_csv",
@@ -167,6 +169,55 @@ def load_spans_jsonl(path: str | Path) -> list[dict]:
     return out
 
 
+def save_attempts_jsonl(attempts: Sequence, path: str | Path) -> None:
+    """Write per-attempt dispatch records as JSONL (same layout contract
+    as :func:`save_spans_jsonl`: schema header, then one record/line)."""
+    header = {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "kind": "repro.telemetry.attempts",
+        "fields": list(ATTEMPT_FIELDS),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps(_nan_to_null(attempt.to_dict()), sort_keys=True)
+        for attempt in attempts
+    )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_attempts_jsonl(path: str | Path) -> list[dict]:
+    """Reload (and validate) an attempt export written by
+    :func:`save_attempts_jsonl`; returns one dict per attempt."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty attempts file (expected a schema header line)")
+    header = json.loads(lines[0])
+    version = header.get("schema_version")
+    if header.get("kind") != "repro.telemetry.attempts" or not isinstance(version, int):
+        raise ValueError(
+            f"{path}: malformed telemetry attempts header {lines[0]!r} "
+            "(is this a repro attempts export?)"
+        )
+    if version > TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: attempts schema {version} is newer than this library "
+            f"supports ({TELEMETRY_SCHEMA_VERSION}); upgrade repro to read it"
+        )
+    required = set(ATTEMPT_FIELDS)
+    out = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        missing = required - set(record)
+        if missing:
+            raise ValueError(
+                f"{path}:{lineno}: attempt record missing field(s) {sorted(missing)}"
+            )
+        out.append(_null_to_nan(record))
+    return out
+
+
 def save_series_csv(series: dict[str, np.ndarray], path: str | Path) -> None:
     """Write sampled time series as CSV (``time`` first, then each
     series as a column; a ``# repro.telemetry.series v<N>`` comment line
@@ -222,6 +273,12 @@ def save_telemetry(report: "TelemetryReport", directory: str | Path) -> dict[str
     }
     save_spans_jsonl(report.spans, paths["spans"])
     save_series_csv(report.series, paths["series"])
+    if report.attempts:
+        # Only reliability-hardened runs produce attempt records; the
+        # file is absent (not empty) for everything else, so existing
+        # export consumers see an unchanged directory layout.
+        paths["attempts"] = root / "attempts.jsonl"
+        save_attempts_jsonl(report.attempts, paths["attempts"])
     paths["accounting"].write_text(
         json.dumps(
             {
@@ -241,9 +298,11 @@ def save_telemetry(report: "TelemetryReport", directory: str | Path) -> dict[str
 def validate_telemetry_dir(directory: str | Path) -> dict[str, int]:
     """Re-read a telemetry export and check it against the schema.
 
-    Returns ``{"spans": n, "series": n_samples, "series_columns": k}``;
-    raises ``ValueError``/``OSError`` on any malformed artifact. Used by
-    ``make telemetry-smoke`` to gate exports in CI.
+    Returns ``{"spans": n, "series": n_samples, "series_columns": k}``
+    (plus ``"attempts": n`` when an ``attempts.jsonl`` is present —
+    reliability-hardened runs only); raises ``ValueError``/``OSError``
+    on any malformed artifact. Used by ``make telemetry-smoke`` and
+    ``make resilience-smoke`` to gate exports in CI.
     """
     root = Path(directory)
     spans = load_spans_jsonl(root / "spans.jsonl")
@@ -255,8 +314,12 @@ def validate_telemetry_dir(directory: str | Path) -> dict[str, int]:
         raise ValueError(f"{root}/accounting.json: missing schema_version")
     if "time" not in series:
         raise ValueError(f"{root}/series.csv: missing 'time' column")
-    return {
+    out = {
         "spans": len(spans),
         "series": len(series["time"]),
         "series_columns": len(series) - 1,
     }
+    attempts_path = root / "attempts.jsonl"
+    if attempts_path.exists():
+        out["attempts"] = len(load_attempts_jsonl(attempts_path))
+    return out

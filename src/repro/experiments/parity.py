@@ -105,6 +105,24 @@ def parity_suite(
             policy="broadcast", policy_params={"mean_interval": 0.05}
         )
     )
+    # reliability-hardened chaos path: deadline budgets, jittered
+    # backoff, retry budgets, hedged requests, and circuit breakers all
+    # active at once — hedge timers, backoff re-selects, and clone
+    # cancellations must order identically per engine
+    from repro.experiments.chaos import hardened_reliability_params
+
+    configs.append(
+        chaos_base.with_updates(
+            policy="polling",
+            policy_params={"poll_size": 3, "discard_slow": True},
+            reliability_params={
+                **hardened_reliability_params(),
+                "deadline": 2.0,
+                "backoff_base": 0.002,
+                "retry_budget": 500.0,
+            },
+        )
+    )
     return configs
 
 

@@ -148,6 +148,11 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
     gaps = gaps * (target_interval / float(gaps.mean()))
 
     policy = make_policy(config.policy, **config.policy_params)
+    reliability = None
+    if config.reliability_params:
+        from repro.cluster.reliability import ReliabilityPolicy
+
+        reliability = ReliabilityPolicy(**config.reliability_params)
     cluster = ServiceCluster(
         n_servers=config.n_servers,
         policy=policy,
@@ -157,6 +162,7 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         workers=config.workers,
         server_speeds=list(config.server_speeds) if config.server_speeds else None,
         engine=config.engine,
+        reliability=reliability,
         **config.cluster_params,
     )
     cluster.load_workload(gaps, services)
@@ -231,7 +237,13 @@ def _summarize_run(
         chaos_counters=(
             resilience_counters(cluster.chaos, metrics)
             if cluster.chaos is not None
-            else {}
+            # Reliability-hardened runs without a chaos injector still
+            # surface their engine counters through the same channel.
+            else (
+                cluster.reliability.counters()
+                if cluster.reliability is not None
+                else {}
+            )
         ),
         telemetry_summary=(
             cluster.telemetry.summary() if cluster.telemetry is not None else {}

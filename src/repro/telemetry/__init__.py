@@ -30,9 +30,16 @@ CLI command; export via :func:`repro.experiments.io.save_telemetry`.
 
 from repro.telemetry.collector import TelemetryCollector, TelemetryReport
 from repro.telemetry.sampler import sample_series
-from repro.telemetry.spans import SPAN_FIELDS, RequestSpan
+from repro.telemetry.spans import (
+    ATTEMPT_FIELDS,
+    SPAN_FIELDS,
+    AttemptRecord,
+    RequestSpan,
+)
 
 __all__ = [
+    "ATTEMPT_FIELDS",
+    "AttemptRecord",
     "RequestSpan",
     "SPAN_FIELDS",
     "TelemetryCollector",

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.sim.monitor import StepRecorder
 from repro.telemetry.sampler import sample_series
-from repro.telemetry.spans import RequestSpan
+from repro.telemetry.spans import AttemptRecord, RequestSpan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.request import Request
@@ -72,6 +72,9 @@ class TelemetryReport:
     sample_interval: float
     #: spans not captured because ``max_spans`` was reached
     spans_dropped: int = 0
+    #: per-attempt dispatch records (empty unless the run had both
+    #: telemetry and the reliability layer enabled)
+    attempts: tuple[AttemptRecord, ...] = ()
 
     def staleness(self) -> np.ndarray:
         return np.array([span.staleness for span in self.spans])
@@ -115,6 +118,7 @@ class TelemetryCollector:
         self.max_spans = max_spans
         self.spans: list[RequestSpan] = []
         self.spans_dropped = 0
+        self.attempts: list[AttemptRecord] = []
         self._install_recorders()
 
     def _install_recorders(self) -> None:
@@ -142,6 +146,31 @@ class TelemetryCollector:
         the dispatch that actually completed.
         """
         request.decision = (perceived_load, observed_at)
+
+    def on_attempt(
+        self, request: "Request", server_id: int, kind: str, breaker_state: str
+    ) -> None:
+        """Record one dispatch attempt (primary or hedge copy).
+
+        Called by the reliability engine only — runs without the
+        reliability layer produce no attempt records. Shares the span
+        cap: attempts stop accumulating once ``max_spans`` attempt
+        records exist (the memory guard covers both collections).
+        """
+        if not self.spans_enabled:
+            return
+        if self.max_spans is not None and len(self.attempts) >= self.max_spans:
+            return
+        self.attempts.append(
+            AttemptRecord(
+                index=request.index,
+                attempt=request.retries,
+                kind=kind,
+                server_id=server_id,
+                t_dispatch=self.cluster.sim.now,
+                breaker_state=breaker_state,
+            )
+        )
 
     def on_request_complete(self, request: "Request") -> None:
         """Capture the span for a finished or terminally failed request."""
@@ -178,6 +207,7 @@ class TelemetryCollector:
             accounting=self.accounting(),
             sample_interval=self.sample_interval,
             spans_dropped=self.spans_dropped,
+            attempts=tuple(self.attempts),
         )
 
     def summary(self) -> dict[str, float]:
@@ -189,6 +219,11 @@ class TelemetryCollector:
             "spans_dropped": float(self.spans_dropped),
             "sample_interval": self.sample_interval,
         }
+        if self.attempts:
+            out["n_attempts"] = float(len(self.attempts))
+            out["n_hedge_attempts"] = float(
+                sum(1 for a in self.attempts if a.kind == "hedge")
+            )
         if finite.size:
             out["mean_staleness"] = float(finite.mean())
             out["p95_staleness"] = float(np.percentile(finite, 95))

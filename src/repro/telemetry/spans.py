@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.request import Request
 
-__all__ = ["RequestSpan", "SPAN_FIELDS"]
+__all__ = ["AttemptRecord", "ATTEMPT_FIELDS", "RequestSpan", "SPAN_FIELDS"]
 
 
 @dataclass(frozen=True)
@@ -101,3 +101,39 @@ class RequestSpan:
 #: ordered span field names — the JSONL export schema (io.py validates
 #: each record against this list)
 SPAN_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(RequestSpan))
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One dispatch attempt of one request, as the reliability layer saw it.
+
+    Spans summarize a request's *winning* lifecycle; attempt records
+    expose the tree underneath — every primary dispatch and hedge copy,
+    with the circuit-breaker view of the chosen server at decision time.
+    Only produced on runs with both telemetry and the reliability layer
+    enabled (the engine is the only caller of
+    :meth:`~repro.telemetry.collector.TelemetryCollector.on_attempt`).
+    """
+
+    #: request index this attempt belongs to
+    index: int
+    #: retry counter at dispatch (0 = first attempt)
+    attempt: int
+    #: ``"primary"`` for policy-selected dispatches, ``"hedge"`` for
+    #: reliability-layer hedge copies
+    kind: str
+    #: server the attempt targeted
+    server_id: int
+    #: simulation time the attempt left the client
+    t_dispatch: float
+    #: the target server's breaker state at decision time
+    #: (``closed`` / ``open`` / ``half_open``; ``closed`` when breakers
+    #: are disabled)
+    breaker_state: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+#: ordered attempt field names — the attempts.jsonl export schema
+ATTEMPT_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(AttemptRecord))

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.cluster import ServiceCluster
+from repro.cluster import (
+    ChaosInjector,
+    ChaosSpec,
+    ClusterMetrics,
+    ServiceCluster,
+)
 from repro.core import IdealOracle, RandomPolicy, make_policy
 from repro.net import MessageKind, PAPER_NET
 from repro.sim.engine import SimulationError
@@ -141,3 +146,89 @@ def test_server_speeds_respected():
     cluster = build(server_speeds=[2.0, 1.0, 1.0, 1.0], n_requests=100)
     assert cluster.servers[0].speed == 2.0
     cluster.run()
+
+
+# ----------------------------------------------------------------------
+# timeout/response/retry races: exactly one outcome per request
+# ----------------------------------------------------------------------
+
+class CountingMetrics(ClusterMetrics):
+    """Metrics that count ``record()`` calls per request index — a
+    double-recorded outcome would silently overwrite in the base class,
+    so races are asserted on the call counts, not the arrays."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, n):
+        super().__init__(n)
+        self.records = {}
+
+    def record(self, request):
+        self.records[request.index] = self.records.get(request.index, 0) + 1
+        super().record(request)
+
+
+def _install_counting_metrics(cluster):
+    counting = CountingMetrics(cluster.n_requests)
+    cluster.metrics = counting
+    return counting
+
+
+def test_late_response_after_terminal_failure_is_ignored():
+    """A RESPONSE that arrives after its request already failed
+    terminally (every retry burned) must not record a second outcome."""
+    n = 5
+    cluster = ServiceCluster(
+        n_servers=2, policy=RandomPolicy(), seed=0,
+        request_timeout=0.01, max_retries=0,
+    )
+    # Service times far beyond the timeout: every request times out,
+    # fails terminally, and its response arrives long after.
+    cluster.load_workload(np.full(n, 0.001), np.full(n, 0.5))
+    counting = _install_counting_metrics(cluster)
+    metrics = cluster.run()
+    assert metrics.failed.all()
+    assert not np.isfinite(metrics.response_time).any()
+    # run() stops at the last terminal failure; drain the still-queued
+    # service completions so their responses actually arrive late.
+    cluster.sim.run()
+    assert cluster.stale_responses_ignored == n
+    assert counting.records == {i: 1 for i in range(n)}
+    assert metrics.failed.all()  # the late responses changed nothing
+
+
+def test_duplicate_request_deliveries_record_once():
+    """Duplicated REQUEST deliveries (chaos) never double-enqueue or
+    double-record: at most one live copy per server, one outcome each."""
+    cluster = build(n_requests=400, request_timeout=0.2, max_retries=10)
+    counting = _install_counting_metrics(cluster)
+    ChaosInjector(cluster, spec=ChaosSpec(duplicate=0.5))
+    metrics = cluster.run()
+    assert cluster.duplicate_deliveries_ignored > 0
+    assert counting.records == {i: 1 for i in range(cluster.n_requests)}
+    assert (np.isfinite(metrics.response_time) ^ metrics.failed).all()
+
+
+def test_crash_retry_race_records_single_outcome():
+    """A crash-triggered retry racing duplicated deliveries of the same
+    request still produces exactly one terminal outcome."""
+    cluster = ServiceCluster(
+        n_servers=4, n_clients=2, policy=RandomPolicy(), seed=7,
+        availability=True, availability_refresh=0.05, availability_ttl=0.15,
+        request_timeout=0.05, max_retries=20,
+    )
+    rng = np.random.default_rng(7)
+    mean_service = 0.005
+    gaps = rng.exponential(mean_service / (4 * 0.9), 1500)
+    services = rng.exponential(mean_service, 1500)
+    cluster.load_workload(gaps, services)
+    counting = _install_counting_metrics(cluster)
+    injector = ChaosInjector(cluster, spec=ChaosSpec(duplicate=0.3))
+    injector.schedule_crash(1, at=0.2)
+    metrics = cluster.run()
+    # The race ingredients actually occurred...
+    assert cluster.server_loss_retries > 0
+    assert cluster.duplicate_deliveries_ignored > 0
+    # ...and every request still resolved exactly once.
+    assert counting.records == {i: 1 for i in range(cluster.n_requests)}
+    assert (np.isfinite(metrics.response_time) ^ metrics.failed).all()

@@ -2,23 +2,35 @@
 
 import pytest
 
-from repro.cluster import ChaosSpec
+from repro.cluster import ChaosSpec, ReliabilityPolicy
 from repro.experiments import SimulationConfig, load_results
 from repro.experiments.cache import ResultCache
 from repro.experiments.chaos import (
     DEFAULT_INTENSITIES,
     DEFAULT_POLICIES,
+    NAIVE_VS_HARDENED,
     chaos_campaign,
     chaos_cluster_params,
     chaos_params_for,
+    hardened_reliability_params,
 )
-from repro.experiments.config import _CHAOS_PARAM_KEYS, _CLUSTER_PARAM_KEYS
+from repro.experiments.config import (
+    _CHAOS_PARAM_KEYS,
+    _CLUSTER_PARAM_KEYS,
+    _RELIABILITY_PARAM_KEYS,
+)
 
 
 def test_chaos_param_keys_mirror_chaos_spec():
     """config.py validates chaos_params against a literal mirror of the
     ChaosSpec fields (to stay import-light) — keep them in sync."""
     assert _CHAOS_PARAM_KEYS == ChaosSpec.field_names()
+
+
+def test_reliability_param_keys_mirror_reliability_policy():
+    """Same contract for reliability_params: the literal mirror in
+    config.py must track the ReliabilityPolicy fields exactly."""
+    assert _RELIABILITY_PARAM_KEYS == ReliabilityPolicy.field_names()
 
 
 def test_unknown_cluster_params_key_rejected():
@@ -29,6 +41,22 @@ def test_unknown_cluster_params_key_rejected():
 def test_unknown_chaos_params_key_rejected():
     with pytest.raises(ValueError, match="chaos_params"):
         SimulationConfig(chaos_params={"losss": 0.1})
+
+
+def test_unknown_reliability_params_key_rejected():
+    with pytest.raises(ValueError, match="reliability_params"):
+        SimulationConfig(reliability_params={"hedge_quantil": 0.9})
+
+
+def test_reliability_params_accepted_and_marked():
+    config = SimulationConfig(reliability_params=hardened_reliability_params())
+    assert set(config.reliability_params) <= _RELIABILITY_PARAM_KEYS
+    assert config.describe().endswith("+reliability")
+    # Cache keys must distinguish hardened from naive runs.
+    from repro.experiments import config_key
+
+    naive = SimulationConfig()
+    assert config_key(config) != config_key(naive)
 
 
 def test_allowed_params_accepted():
@@ -113,3 +141,59 @@ def test_campaign_archive(tmp_path):
 def test_default_grid_covers_three_policies():
     assert len(DEFAULT_POLICIES) == 3
     assert DEFAULT_INTENSITIES[0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# reliability axis: naive vs hardened under identical fault schedules
+# ----------------------------------------------------------------------
+
+def test_hardened_params_are_a_valid_enabled_policy():
+    policy = ReliabilityPolicy(**hardened_reliability_params())
+    assert policy.enabled
+
+
+def test_naive_vs_hardened_campaign_shape():
+    report = small_campaign(
+        policies=DEFAULT_POLICIES[:1], reliability_modes=NAIVE_VS_HARDENED
+    )
+    # 1 policy x 2 intensities x 2 modes.
+    assert len(report.table) == 4
+    assert [row["mode"] for row in report.table.rows] == [
+        "naive", "naive", "hardened", "hardened",
+    ]
+    # Multi-mode grids suffix the mode into the label so archives keep
+    # one unambiguous label per cell.
+    labels = [r.config.label for r in report.results]
+    assert labels == [
+        f"chaos random I={i:g} {mode}"
+        for mode in ("naive", "hardened")
+        for i in (0.0, 1.0)
+    ]
+    # Only the hardened leg carries reliability params.
+    assert not any(
+        r.config.reliability_params for r in report.results[:2]
+    )
+    assert all(r.config.reliability_params for r in report.results[2:])
+
+
+def test_single_mode_campaign_keeps_legacy_labels():
+    """The default (single-mode) grid must keep its historical labels so
+    existing archives and caches stay addressable."""
+    report = small_campaign(policies=DEFAULT_POLICIES[:1])
+    assert [r.config.label for r in report.results] == [
+        "chaos random I=0", "chaos random I=1",
+    ]
+    assert report.mode_comparison() == []
+
+
+def test_mode_comparison_renders_deltas():
+    report = small_campaign(
+        policies=DEFAULT_POLICIES[:1], reliability_modes=NAIVE_VS_HARDENED
+    )
+    comparison = report.mode_comparison()
+    # One comparison line per nonzero-intensity cell.
+    assert len(comparison) == 1
+    assert comparison[0].startswith("hardened vs naive | random I=1:")
+    rendered = report.render()
+    assert "Reliability modes (identical fault schedules)" in rendered
+    assert comparison[0] in rendered

@@ -40,6 +40,8 @@ def test_parity_suite_shape():
     assert {"broadcast", "polling", "random", "ideal"} <= policies
     assert any(c.model == "prototype" for c in suite)  # cancel-heavy path
     assert any(c.policy_params.get("discard_slow") for c in suite)
+    # Hedge timers + breaker filtering must also be engine-invariant.
+    assert any(c.reliability_params for c in suite)
 
 
 def test_single_config_bit_identical():
@@ -49,6 +51,32 @@ def test_single_config_bit_identical():
     )
     heap = run_simulation(config.with_updates(engine="heap"))
     calendar = run_simulation(config.with_updates(engine="calendar"))
+    for name in COMPARED_FIELDS:
+        assert _values_equal(getattr(heap, name), getattr(calendar, name)), name
+
+
+def test_hardened_reliability_config_bit_identical():
+    """The reliability layer (hedge timers, backoff events, breaker
+    filtering) draws from named substreams only — both engines must
+    agree bit-for-bit with every mechanism switched on."""
+    from repro.experiments.chaos import (
+        chaos_cluster_params,
+        chaos_params_for,
+        hardened_reliability_params,
+    )
+
+    config = SimulationConfig(
+        policy="polling", policy_params={"poll_size": 3, "discard_slow": True},
+        load=0.8, n_servers=4, n_requests=800, seed=23,
+        cluster_params=chaos_cluster_params(),
+        chaos_params=chaos_params_for(1.0, n_servers=4),
+        reliability_params=hardened_reliability_params(),
+    )
+    heap = run_simulation(config.with_updates(engine="heap"))
+    calendar = run_simulation(config.with_updates(engine="calendar"))
+    # Exercised, not idle: hedge timers fired and breakers tripped.
+    assert heap.chaos_counters["hedges_launched"] > 0
+    assert heap.chaos_counters["breaker_opens"] > 0
     for name in COMPARED_FIELDS:
         assert _values_equal(getattr(heap, name), getattr(calendar, name)), name
 

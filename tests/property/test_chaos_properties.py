@@ -14,7 +14,13 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import ChaosInjector, ChaosSpec, ClusterMetrics, ServiceCluster
+from repro.cluster import (
+    ChaosInjector,
+    ChaosSpec,
+    ClusterMetrics,
+    ReliabilityPolicy,
+    ServiceCluster,
+)
 from repro.core import make_policy
 
 policy_strategy = st.sampled_from(
@@ -38,7 +44,7 @@ spec_strategy = st.builds(
 )
 
 
-def run_chaos_cluster(policy, spec, seed, n=120):
+def run_chaos_cluster(policy, spec, seed, n=120, reliability=None):
     name, params = policy
     cluster = ServiceCluster(
         n_servers=4,
@@ -50,6 +56,7 @@ def run_chaos_cluster(policy, spec, seed, n=120):
         availability_ttl=0.15,
         request_timeout=0.2,
         max_retries=60,
+        reliability=reliability,
     )
     rng = np.random.default_rng(seed)
     mean_service = 0.005
@@ -115,3 +122,45 @@ def test_duplicated_deliveries_never_duplicate_completions(policy, seed):
     assert (
         cluster.duplicate_deliveries_ignored + cluster.stale_responses_ignored > 0
     )
+
+
+reliability_strategy = st.sampled_from(
+    [
+        # hedging + breakers (the canonical hardened combination)
+        ReliabilityPolicy(
+            hedge_quantile=0.9, hedge_min_samples=16,
+            breaker_threshold=4, breaker_cooldown=0.3,
+        ),
+        # deadline budget + jittered backoff + retry budget
+        ReliabilityPolicy(deadline=1.5, backoff_base=0.002, retry_budget=100),
+        # everything at once
+        ReliabilityPolicy(
+            deadline=2.0, backoff_base=0.001, retry_budget=200,
+            hedge_quantile=0.8, hedge_min_samples=16,
+            breaker_threshold=3, breaker_cooldown=0.2,
+        ),
+    ]
+)
+
+
+@given(
+    policy=policy_strategy,
+    spec=spec_strategy,
+    reliability=reliability_strategy,
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=12, deadline=None)
+def test_reliability_layer_preserves_exactly_once_conservation(
+    policy, spec, reliability, seed
+):
+    """Hedge copies, fail-fast paths, and breaker ejections must never
+    break the core invariant: one terminal outcome per request."""
+    cluster, injector = run_chaos_cluster(policy, spec, seed, reliability=reliability)
+    del injector
+    metrics = cluster.run()
+    finite = np.isfinite(metrics.response_time)
+    assert (finite ^ metrics.failed).all()
+    assert int(finite.sum()) + int(metrics.failed.sum()) == metrics.n
+    # The engine's per-request state fully drains at terminal outcomes.
+    assert cluster.reliability is not None
+    assert not cluster.reliability._states

@@ -218,3 +218,80 @@ def test_span_fields_cover_request_lifecycle():
                      "t_completed", "t_response", "staleness",
                      "perceived_load"):
         assert expected in SPAN_FIELDS
+
+
+# ----------------------------------------------------------------------
+# attempt records (reliability layer)
+# ----------------------------------------------------------------------
+def _hardened(n=300, telemetry=None, **kw):
+    from repro.experiments.chaos import hardened_reliability_params
+
+    kw.setdefault("cluster_params", {"request_timeout": 0.25, "max_retries": 4})
+    kw.setdefault("reliability_params", hardened_reliability_params())
+    return config(n=n, telemetry=telemetry or {"spans": True}, **kw)
+
+
+def test_no_attempts_without_reliability():
+    _, report = run_with_telemetry(config(n=100))
+    assert report.attempts == ()
+    assert "n_attempts" not in run_simulation(
+        config(n=100, telemetry={"spans": True})
+    ).telemetry_summary
+
+
+def test_attempts_one_primary_per_dispatch():
+    result, report = run_with_telemetry(_hardened(n=200))
+    primaries = [a for a in report.attempts if a.kind == "primary"]
+    # One primary record per dispatch: requests + retried dispatches.
+    assert len(primaries) >= 200
+    assert all(a.breaker_state in ("closed", "open", "half_open")
+               for a in report.attempts)
+    assert all(a.t_dispatch >= 0.0 for a in report.attempts)
+    summary = result.telemetry_summary
+    assert summary["n_attempts"] == float(len(report.attempts))
+    assert summary["n_hedge_attempts"] == float(
+        sum(1 for a in report.attempts if a.kind == "hedge")
+    )
+
+
+def test_attempts_capture_hedge_copies():
+    from repro.experiments.chaos import (
+        chaos_cluster_params,
+        chaos_params_for,
+        hardened_reliability_params,
+    )
+
+    _, report = run_with_telemetry(
+        SimulationConfig(
+            policy="polling",
+            policy_params={"poll_size": 3, "discard_slow": True},
+            load=0.8, n_servers=4, n_requests=800, seed=23,
+            cluster_params=chaos_cluster_params(),
+            chaos_params=chaos_params_for(1.0, n_servers=4),
+            reliability_params=hardened_reliability_params(),
+            telemetry={"spans": True},
+        )
+    )
+    kinds = {a.kind for a in report.attempts}
+    assert kinds == {"primary", "hedge"}
+    # Hedge copies carry the same index as a primary attempt.
+    primary_indices = {a.index for a in report.attempts if a.kind == "primary"}
+    assert all(
+        a.index in primary_indices for a in report.attempts if a.kind == "hedge"
+    )
+
+
+def test_attempts_share_max_spans_cap():
+    _, report = run_with_telemetry(
+        _hardened(n=200, telemetry={"spans": True, "max_spans": 40})
+    )
+    assert len(report.attempts) <= 40
+
+
+def test_bit_identical_with_telemetry_on_hardened_run():
+    """Telemetry stays observation-only with the reliability layer on."""
+    base = _hardened(n=400, telemetry={})
+    off = run_simulation(base)
+    on = run_simulation(base.with_updates(telemetry={"spans": True}))
+    assert off.mean_response_time == on.mean_response_time
+    assert off.events_executed == on.events_executed

@@ -119,3 +119,93 @@ def test_save_telemetry_and_validate(tmp_path):
     (tmp_path / "out" / "accounting.json").write_text('{"kind": "nope"}')
     with pytest.raises(ValueError, match="kind"):
         validate_telemetry_dir(tmp_path / "out")
+
+
+# ----------------------------------------------------------------------
+# attempt records (reliability layer): attempts.jsonl
+# ----------------------------------------------------------------------
+
+def attempt(index=0, **overrides):
+    from repro.telemetry import AttemptRecord
+
+    values = dict(
+        index=index, attempt=0, kind="primary", server_id=2,
+        t_dispatch=0.001, breaker_state="closed",
+    )
+    values.update(overrides)
+    return AttemptRecord(**values)
+
+
+def test_attempts_jsonl_roundtrip(tmp_path):
+    from repro.experiments.io import load_attempts_jsonl, save_attempts_jsonl
+    from repro.telemetry import ATTEMPT_FIELDS
+
+    records = [attempt(0), attempt(1, kind="hedge", breaker_state="half_open")]
+    path = tmp_path / "attempts.jsonl"
+    save_attempts_jsonl(records, path)
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header["kind"] == "repro.telemetry.attempts"
+    assert header["fields"] == list(ATTEMPT_FIELDS)
+    loaded = load_attempts_jsonl(path)
+    assert loaded == [r.to_dict() for r in records]
+
+
+def test_attempts_jsonl_rejects_malformed(tmp_path):
+    from repro.experiments.io import load_attempts_jsonl, save_attempts_jsonl
+
+    path = tmp_path / "attempts.jsonl"
+    path.write_text('{"kind": "something-else"}\n')
+    with pytest.raises(ValueError, match="header"):
+        load_attempts_jsonl(path)
+
+    save_attempts_jsonl([attempt()], path)
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[1])
+    del record["breaker_state"]
+    path.write_text("\n".join([lines[0], json.dumps(record)]) + "\n")
+    with pytest.raises(ValueError, match="breaker_state"):
+        load_attempts_jsonl(path)
+
+    path.write_text(
+        json.dumps({"kind": "repro.telemetry.attempts", "schema_version": 999,
+                    "fields": []}) + "\n"
+    )
+    with pytest.raises(ValueError, match="newer"):
+        load_attempts_jsonl(path)
+
+
+def test_attempts_file_absent_without_reliability(tmp_path):
+    """Non-hardened telemetry runs keep the legacy export layout: no
+    attempts.jsonl at all (absent, not empty)."""
+    from repro.experiments import SimulationConfig
+    from repro.experiments.runner import run_with_telemetry
+
+    _, report = run_with_telemetry(SimulationConfig(n_requests=100, seed=2))
+    assert report.attempts == ()
+    save_telemetry(report, tmp_path / "out")
+    assert not (tmp_path / "out" / "attempts.jsonl").exists()
+    assert "attempts" not in validate_telemetry_dir(tmp_path / "out")
+
+
+def test_attempts_exported_and_validated_for_hardened_run(tmp_path):
+    from repro.experiments import SimulationConfig
+    from repro.experiments.chaos import hardened_reliability_params
+    from repro.experiments.io import load_attempts_jsonl
+    from repro.experiments.runner import run_with_telemetry
+
+    _, report = run_with_telemetry(
+        SimulationConfig(
+            n_requests=150, seed=2,
+            cluster_params={"request_timeout": 0.25, "max_retries": 4},
+            reliability_params=hardened_reliability_params(),
+        )
+    )
+    # Every request dispatched at least one primary attempt.
+    assert len(report.attempts) >= 150
+    assert {a.kind for a in report.attempts} <= {"primary", "hedge"}
+    paths = save_telemetry(report, tmp_path / "out")
+    assert paths["attempts"].exists()
+    checked = validate_telemetry_dir(tmp_path / "out")
+    assert checked["attempts"] == len(report.attempts)
+    loaded = load_attempts_jsonl(paths["attempts"])
+    assert loaded[0] == report.attempts[0].to_dict()

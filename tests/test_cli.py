@@ -151,6 +151,15 @@ def test_trace_command_small(capsys, tmp_path):
     assert (out_dir / "accounting.json").exists()
 
 
+def test_resilience_command_small(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["resilience", "--requests", "300", "--serial", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "naive" in out and "hardened" in out
+    assert "per-cell deltas (identical fault schedules)" in out
+    assert "hardened vs naive" in out
+
+
 def test_trace_command_policy_params(capsys):
     assert main(["trace", "--requests", "200", "--seed", "1", "--no-cache",
                  "--policy", "broadcast",
