@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke telemetry-smoke resilience-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,12 @@ telemetry-smoke:
 resilience-smoke:
 	$(PYTHON) -m repro resilience --quick --seed 0
 	$(PYTHON) -m repro resilience --quick --seed 0
+
+# Tiny static-vs-adaptive overload campaign under identical arrival
+# schedules; the second invocation must be served from the result cache.
+overload-smoke:
+	$(PYTHON) -m repro overload --quick --seed 0
+	$(PYTHON) -m repro overload --quick --seed 0
 
 examples:
 	$(PYTHON) examples/quickstart.py

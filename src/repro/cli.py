@@ -13,6 +13,7 @@ Usage::
     python -m repro parity
     python -m repro chaos --quick
     python -m repro resilience --quick
+    python -m repro overload --quick
     python -m repro trace --policy broadcast --policy-param mean_interval=0.1
     python -m repro list
 
@@ -52,6 +53,7 @@ _QUICK_REQUESTS = {
     "parity": 800,
     "chaos": 600,
     "resilience": 600,
+    "overload": 600,
     "trace": 800,
 }
 
@@ -204,6 +206,20 @@ def _resilience(args) -> str:
     return out
 
 
+def _overload(args) -> str:
+    """Static vs adaptive admission across the offered-load grid."""
+    data = figures.overload_goodput(
+        n_requests=args.requests or 4_000, seed=args.seed,
+        parallel=not args.serial, **_sweep_kwargs(args),
+    )
+    out = data.render()
+    comparison = data.extras["comparison"]
+    if comparison:
+        out += "\n\n== per-cell deltas (identical arrival schedules) ==\n"
+        out += "\n".join(comparison)
+    return out
+
+
 def _trace(args) -> str:
     """Telemetry run: lifecycle spans, staleness report, sampled series."""
     import numpy as np
@@ -290,6 +306,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "parity": (_parity, "heap vs calendar engine determinism check"),
     "chaos": (_chaos, "chaos campaign: resilience under injected faults"),
     "resilience": (_resilience, "naive vs hardened reliability layer under chaos"),
+    "overload": (_overload, "overload campaign: goodput past saturation"),
     "trace": (_trace, "request-lifecycle telemetry + staleness report"),
 }
 

@@ -39,6 +39,7 @@ from repro.cluster.reliability import (
     ReliabilityEngine,
     ReliabilityPolicy,
 )
+from repro.cluster.overload import OverloadController, OverloadPolicy
 from repro.cluster.system import ClusterMetrics, ServiceCluster
 
 __all__ = [
@@ -55,6 +56,8 @@ __all__ = [
     "FailureInjector",
     "resilience_counters",
     "CircuitBreaker",
+    "OverloadController",
+    "OverloadPolicy",
     "PartitionMap",
     "ReliabilityEngine",
     "ReliabilityPolicy",

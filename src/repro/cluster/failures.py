@@ -324,6 +324,10 @@ def resilience_counters(
     }
     if cluster.reliability is not None:
         counters.update(cluster.reliability.counters())
+    # Admission-control visibility: the rejected_count sum is always
+    # reported (rejections were previously invisible in every report);
+    # shed/withdrawal/NACK counters join it when overload control is on.
+    counters.update(cluster.overload_counters())
     completed = np.isfinite(metrics.response_time) & ~metrics.failed
     arrivals = metrics.arrival_time[completed]
     completions = arrivals + metrics.response_time[completed]

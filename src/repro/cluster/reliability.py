@@ -23,7 +23,10 @@ deterministic state machine the cluster consults on every attempt:
 - **per-server circuit breakers** — consecutive timeouts/losses eject a
   server from the candidate set (composing with the availability
   subsystem's soft-state expiry, which is much slower than a breaker),
-  and a cooldown half-opens it for probing back in.
+  and a cooldown half-opens it for probing back in. Fast-reject NACKs
+  from overloaded servers (:mod:`repro.cluster.overload`) feed the same
+  breakers via :meth:`ReliabilityEngine.on_reject`, and hedges never
+  target a server that already rejected the request.
 
 Every mechanism is **off by default**: a cluster built without a
 :class:`ReliabilityPolicy` (or with the all-default policy) takes
@@ -218,7 +221,7 @@ class CircuitBreaker:
 class _RequestState:
     """Per-request reliability bookkeeping (created at first dispatch)."""
 
-    __slots__ = ("last_server", "attempt", "hedge_handle", "clones")
+    __slots__ = ("last_server", "attempt", "hedge_handle", "clones", "rejected_servers")
 
     def __init__(self) -> None:
         #: target of the most recent primary dispatch (breaker attribution)
@@ -229,6 +232,10 @@ class _RequestState:
         self.hedge_handle: Optional[EventHandle] = None
         #: hedge copies launched for this request (any attempt)
         self.clones: list[Request] = []
+        #: servers that rejected this request (admission control / shed
+        #: NACKs); hedges never target them — a copy sent to a server
+        #: that just declined the primary would be shed right back
+        self.rejected_servers: set[int] = set()
 
 
 class ReliabilityEngine:
@@ -268,6 +275,7 @@ class ReliabilityEngine:
         self.clones_lost = 0
         self.retry_budget_exhausted = 0
         self.deadline_exceeded = 0
+        self.rejects_signaled = 0
 
     # ------------------------------------------------------------------
     # deadline budget
@@ -382,6 +390,24 @@ class ReliabilityEngine:
         breaker = self.breakers.get(state.last_server)
         if breaker is not None:
             breaker.record_failure(self.cluster.sim.now)
+
+    def on_reject(self, request: Request, server_id: int) -> None:
+        """An admission-control rejection (instant or fast-reject NACK)
+        reached the client: treat it as a breaker signal for the
+        rejecting server and exclude that server from future hedges.
+
+        Unlike :meth:`on_attempt_failure`, the rejecting server is
+        named explicitly by the NACK, so no attempt-matching guard is
+        needed — the attribution cannot be stale.
+        """
+        self.rejects_signaled += 1
+        state = self._states.get(request.index)
+        if state is not None:
+            state.rejected_servers.add(server_id)
+        if self.breakers:
+            breaker = self.breakers.get(server_id)
+            if breaker is not None:
+                breaker.record_failure(self.cluster.sim.now)
 
     # ------------------------------------------------------------------
     # lifecycle hooks
@@ -517,7 +543,7 @@ class ReliabilityEngine:
             return
         cluster = self.cluster
         client = cluster.client_for(request)
-        held = {state.last_server, request.queued_at}
+        held = {state.last_server, request.queued_at} | state.rejected_servers
         candidates = [s for s in cluster.available_servers(client) if s not in held]
         if not candidates:
             return
@@ -561,6 +587,7 @@ class ReliabilityEngine:
             "breaker_opens": float(self.breaker_opens()),
             "retry_budget_exhausted": float(self.retry_budget_exhausted),
             "deadline_exceeded": float(self.deadline_exceeded),
+            "rejects_signaled": float(self.rejects_signaled),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

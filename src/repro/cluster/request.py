@@ -41,6 +41,8 @@ class Request:
         "queued_at",
         "decision",
         "hedge",
+        "rejects",
+        "last_rejected_by",
     )
 
     def __init__(self, index: int, client_id: int, service_time: float, arrival_time: float):
@@ -75,6 +77,13 @@ class Request:
         #: duplicate-suppression machinery works per copy (see
         #: :mod:`repro.cluster.reliability`)
         self.hedge = None
+        #: admission-control rejections this request has absorbed
+        #: (static ``max_queue`` bound or adaptive shedding)
+        self.rejects = 0
+        #: node id of the server that most recently rejected this
+        #: request, -1 otherwise; the immediately following re-selection
+        #: excludes it from the candidate set (cleared at dispatch)
+        self.last_rejected_by = -1
 
     @property
     def poll_time(self) -> float:

@@ -48,6 +48,7 @@ class ServerNode:
         "alive",
         "max_queue",
         "rejected_count",
+        "overload",
     )
 
     def __init__(
@@ -89,6 +90,11 @@ class ServerNode:
         #: throughput is tightly related to the admission control").
         self.max_queue = max_queue
         self.rejected_count = 0
+        #: optional :class:`repro.cluster.overload.OverloadController`
+        #: installed by the cluster when overload control is enabled;
+        #: every touch point guards with ``is not None`` (zero overhead
+        #: off, same pattern as ``queue_recorder``)
+        self.overload = None
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +115,9 @@ class ServerNode:
         control rejects it; True otherwise.
         """
         if self.max_queue is not None and self.queue_length >= self.max_queue:
+            self.rejected_count += 1
+            return False
+        if self.overload is not None and not self.overload.admit(self.queue_length):
             self.rejected_count += 1
             return False
         request.enqueue_time = self.sim.now
@@ -136,6 +145,8 @@ class ServerNode:
         if self.queue:
             self._start(self.queue.popleft())
         self._record_queue()
+        if self.overload is not None:
+            self.overload.observe_completion(request, self.queue_length)
         if self.on_complete is not None:
             self.on_complete(self, request)
         if self.on_idle is not None and not self.in_service and not self.queue:

@@ -41,6 +41,7 @@ from repro.sim.engine import EventHandle, SimulationError
 from repro.sim.rng import RngHub
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.overload import OverloadPolicy
     from repro.cluster.reliability import ReliabilityPolicy
     from repro.core.base import LoadBalancer
 
@@ -161,6 +162,12 @@ class ServiceCluster:
         — deadline budgets, backoff, retry budgets, hedging, breakers.
         ``None`` (or an all-default policy) keeps the naive lifecycle
         bit-identical to a cluster built without the parameter.
+    overload:
+        Optional :class:`repro.cluster.overload.OverloadPolicy` —
+        CoDel-style adaptive admission, fast-reject NACKs, and
+        load-aware availability withdrawal, per server. ``None`` (or a
+        disabled policy) keeps every path bit-identical to a cluster
+        built without the parameter (DESIGN.md §12).
     engine:
         Event-queue implementation ("heap" or "calendar"); both give
         bit-identical results (see :mod:`repro.sim.calendar`).
@@ -185,6 +192,7 @@ class ServiceCluster:
         server_max_queue: Optional[int] = None,
         reselect_delay: Optional[float] = None,
         reliability: Optional["ReliabilityPolicy"] = None,
+        overload: Optional["OverloadPolicy"] = None,
         engine: str = "heap",
     ):
         if n_servers < 1:
@@ -217,6 +225,7 @@ class ServiceCluster:
         manager_way = ConstantLatency(constants.manager_one_way)
         self.network.set_latency(MessageKind.REQUEST, one_way)
         self.network.set_latency(MessageKind.RESPONSE, one_way)
+        self.network.set_latency(MessageKind.REJECT, one_way)
         self.network.set_latency(MessageKind.POLL, poll_way)
         self.network.set_latency(MessageKind.POLL_REPLY, poll_way)
         self.network.set_latency(MessageKind.BROADCAST, poll_way)
@@ -280,6 +289,33 @@ class ServiceCluster:
                 self.publishers[server.node_id] = publisher
                 publisher.start()
 
+        # Overload-control subsystem (optional): one controller per
+        # server, consulted by ServerNode.enqueue after the static
+        # max_queue bound. Installed only when a mechanism is enabled so
+        # default runs take identical code paths (the None-guard pattern
+        # shared with telemetry/reliability).
+        #: the active :class:`~repro.cluster.overload.OverloadPolicy`
+        #: (None when overload control is off)
+        self.overload = None
+        if overload is not None and overload.enabled:
+            from repro.cluster.overload import OverloadController
+
+            self.overload = overload
+            for server in self.servers:
+                rng = (
+                    self.rng_hub.stream(f"overload.shed.{server.node_id}")
+                    if overload.shed_jitter > 0.0
+                    else None
+                )
+                controller = OverloadController(
+                    overload, self.sim, workers=workers, rng=rng
+                )
+                server.overload = controller
+                if self.availability_enabled and overload.withdraw_after is not None:
+                    publisher = self.publishers[server.node_id]
+                    controller.on_withdraw = publisher.stop
+                    controller.on_rejoin = self._make_rejoin(server, publisher)
+
         # Workload slots.
         self.n_requests = 0
         self._service_times: Optional[np.ndarray] = None
@@ -301,6 +337,14 @@ class ServiceCluster:
         #: RESPONSE deliveries discarded because the request had already
         #: completed or terminally failed (duplication / timeout races)
         self.stale_responses_ignored = 0
+        #: fast-reject NACKs sent by overloaded servers
+        self.rejects_sent = 0
+        #: REJECT deliveries discarded because the request had already
+        #: moved on (retry raced the NACK, or duplication)
+        self.stale_rejects_ignored = 0
+        #: request currently inside policy.select (candidate-set
+        #: filtering excludes the server that just rejected it)
+        self._selecting_request: Optional[Request] = None
         #: optional :class:`repro.cluster.failures.ChaosInjector`
         #: installed by the experiment runner for chaos configs
         self.chaos = None
@@ -332,17 +376,39 @@ class ServiceCluster:
         """Candidate server ids for this client's next access.
 
         Soft-state membership first (when the availability subsystem is
-        on), then circuit-breaker filtering (when the reliability layer
-        has breakers): a breaker reacts to consecutive failures within
-        milliseconds while soft-state expiry needs a full TTL.
+        on), then rejection exclusion, then circuit-breaker filtering
+        (when the reliability layer has breakers): a breaker reacts to
+        consecutive failures within milliseconds while soft-state
+        expiry needs a full TTL.
+
+        Rejection exclusion: while re-selecting a request that was just
+        rejected, the rejecting server is dropped from the candidate
+        set (when alternatives exist) — a saturated server must not be
+        re-picked for the immediate retry it just bounced.
         """
         if not self.availability_enabled:
             members = self._static_members
         else:
             members = self.mapping_tables[client.node_id].available(DEFAULT_SERVICE, 0)
+        selecting = self._selecting_request
+        if selecting is not None and selecting.last_rejected_by >= 0:
+            filtered = [s for s in members if s != selecting.last_rejected_by]
+            if filtered:
+                members = filtered
         if self.reliability is not None:
             return list(self.reliability.filter_candidates(members))
         return members
+
+    def _make_rejoin(self, server: ServerNode, publisher: ServicePublisher):
+        """Recovery callback for an overload-withdrawn server: resume
+        publishing — unless the server crashed while withdrawn (the
+        chaos injector owns the publisher of a dead node)."""
+
+        def rejoin() -> None:
+            if server.alive:
+                publisher.start()
+
+        return rejoin
 
     def client_for(self, request: Request) -> ClientNode:
         """The client node that originated ``request`` (node ids for
@@ -432,6 +498,9 @@ class ServiceCluster:
             # A stale poll round decided after the request already
             # finished through another path (timeout retry + chaos).
             return
+        # The rejection exclusion only covers the selection that just
+        # committed; later retries see the full candidate set again.
+        request.last_rejected_by = -1
         request.dispatch_time = self.sim.now
         self.policy.notify_dispatch(client, request, server_id)
         self.network.send(
@@ -538,6 +607,7 @@ class ServiceCluster:
         from repro.core.base import NoCandidatesError
 
         self._arm_attempt_timeout(request)
+        self._selecting_request = request
         try:
             self.policy.select(client, request)
         except NoCandidatesError:
@@ -545,6 +615,8 @@ class ServiceCluster:
             if handle is not None:
                 self.sim.cancel(handle)
             self.sim.after(self.reselect_delay, self._retry, request)
+        finally:
+            self._selecting_request = None
 
     def _deliver_request(self, message: Message) -> None:
         server = self.servers[message.dst]
@@ -573,12 +645,53 @@ class ServiceCluster:
                 # spawn a parallel retry lifecycle.
                 self.reliability.on_clone_lost(request)
                 return
-            # Admission control rejected: cancel any pending timeout and
-            # retry elsewhere (counts against max_retries).
+            # Admission control rejected (static bound or adaptive
+            # shedding): the retry, whenever it runs, must not re-pick
+            # this server, and its breaker absorbs the signal.
+            request.rejects += 1
+            request.last_rejected_by = server.node_id
+            if server.overload is not None and server.overload.policy.fast_reject:
+                # Fast-reject NACK: tell the client now, over the wire,
+                # instead of letting it burn its timeout budget. The
+                # attempt timeout stays armed — it is the loss-recovery
+                # path for a NACK the network eats.
+                self.rejects_sent += 1
+                self.network.send(
+                    MessageKind.REJECT,
+                    server.node_id,
+                    request.client_id,
+                    (request, request.retries),
+                    self._deliver_reject,
+                )
+                return
+            # Naive path (no overload controller): instant local retry
+            # (counts against max_retries).
+            if self.reliability is not None:
+                self.reliability.on_reject(request, server.node_id)
             handle = self._timeout_handles.pop(request.index, None)
             if handle is not None:
                 self.sim.cancel(handle)
             self._retry(request)
+
+    def _deliver_reject(self, message: Message) -> None:
+        """A fast-reject NACK reached the client: retry elsewhere.
+
+        Stale guards mirror ``_deliver_response``: the request may have
+        moved on before the NACK landed — its attempt timeout fired and
+        the retry already queued somewhere (``queued_at``), a later
+        attempt is underway (``retries`` mismatch), it finished through
+        a sibling copy (``done``) — or chaos duplicated the NACK.
+        """
+        request, attempt = message.payload
+        if request.done or request.queued_at >= 0 or request.retries != attempt:
+            self.stale_rejects_ignored += 1
+            return
+        handle = self._timeout_handles.pop(request.index, None)
+        if handle is not None:
+            self.sim.cancel(handle)
+        if self.reliability is not None:
+            self.reliability.on_reject(request, message.src)
+        self._retry(request)
 
     def _on_server_complete(self, server: ServerNode, request: Request) -> None:
         self.network.send(
@@ -694,6 +807,37 @@ class ServiceCluster:
         self._safe_select(self.client_for(request), request)
 
     # ------------------------------------------------------------------
+    def overload_counters(self) -> dict[str, float]:
+        """Archive-ready admission/overload tallies.
+
+        ``requests_rejected`` (the per-server ``rejected_count`` sum) is
+        always present — rejections from the static ``max_queue`` bound
+        must be visible even on runs without the overload subsystem.
+        The shedding/withdrawal/NACK counters appear only when overload
+        control is enabled.
+        """
+        counters: dict[str, float] = {
+            "requests_rejected": float(
+                sum(server.rejected_count for server in self.servers)
+            ),
+        }
+        if self.overload is not None:
+            totals = {
+                "requests_shed": 0,
+                "shed_jitter_admits": 0,
+                "overload_withdrawals": 0,
+                "overload_rejoins": 0,
+            }
+            for server in self.servers:
+                if server.overload is None:
+                    continue
+                for name, value in server.overload.counters().items():
+                    totals[name] += value
+            counters.update({name: float(value) for name, value in totals.items()})
+            counters["rejects_sent"] = float(self.rejects_sent)
+            counters["stale_rejects_ignored"] = float(self.stale_rejects_ignored)
+        return counters
+
     def total_stolen_cpu(self) -> float:
         """CPU seconds stolen from services by poll handling (all servers)."""
         return sum(server.stolen_cpu_total for server in self.servers)

@@ -48,13 +48,22 @@ from repro.experiments.chaos import (
     chaos_params_for,
     hardened_reliability_params,
 )
+from repro.experiments.overload import (
+    STATIC_VS_ADAPTIVE,
+    OverloadReport,
+    overload_campaign,
+    overload_cluster_params,
+    overload_control_params,
+)
 from repro.experiments import figures, regression
 
 __all__ = [
     "EngineParityReport",
     "NAIVE_VS_HARDENED",
+    "OverloadReport",
     "ReplicatedResult",
     "ResilienceReport",
+    "STATIC_VS_ADAPTIVE",
     "ResultCache",
     "ResultTable",
     "SimulationConfig",
@@ -75,6 +84,9 @@ __all__ = [
     "load_attempts_jsonl",
     "load_results",
     "load_spans_jsonl",
+    "overload_campaign",
+    "overload_cluster_params",
+    "overload_control_params",
     "parallel_sweep",
     "parity_suite",
     "regression",

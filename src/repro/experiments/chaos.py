@@ -252,6 +252,7 @@ def chaos_campaign(
             "crash_retries",
             "retries",
             "lost",
+            "rejected",
             "fail_fast",
             "hedge_wins",
             "breaker_opens",
@@ -278,6 +279,7 @@ def chaos_campaign(
                     crash_retries=int(counters.get("server_loss_retries", 0)),
                     retries=int(counters.get("total_retries", 0)),
                     lost=int(counters.get("requests_lost", 0)),
+                    rejected=int(counters.get("requests_rejected", 0)),
                     fail_fast=int(
                         counters.get("retry_budget_exhausted", 0)
                         + counters.get("deadline_exceeded", 0)

@@ -68,6 +68,19 @@ _RELIABILITY_PARAM_KEYS = frozenset(
     }
 )
 
+#: literal mirror of :class:`repro.cluster.overload.OverloadPolicy`
+#: field names (cross-checked against the dataclass by a unit test)
+_OVERLOAD_PARAM_KEYS = frozenset(
+    {
+        "sojourn_target",
+        "interval",
+        "ewma_alpha",
+        "shed_jitter",
+        "fast_reject",
+        "withdraw_after",
+    }
+)
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -109,6 +122,13 @@ class SimulationConfig:
     bit-identical to pre-reliability builds (DESIGN.md §11). The field
     participates in the result-cache key, so hardened and naive runs
     never alias each other's cache entries.
+
+    ``overload_params`` — :class:`repro.cluster.overload.OverloadPolicy`
+    knobs (CoDel-style adaptive admission, fast-reject NACKs,
+    load-aware availability withdrawal) — installs per-server overload
+    controllers for the run; an empty dict (the default) keeps every
+    path bit-identical to pre-overload builds (DESIGN.md §12). Like the
+    other param dicts, it participates in the result-cache key.
     """
 
     policy: str = "polling"
@@ -132,6 +152,7 @@ class SimulationConfig:
     chaos_params: dict[str, Any] = field(default_factory=dict)
     telemetry: dict[str, Any] = field(default_factory=dict)
     reliability_params: dict[str, Any] = field(default_factory=dict)
+    overload_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -162,6 +183,12 @@ class SimulationConfig:
                 f"unknown reliability_params key(s): {sorted(unknown)} "
                 f"(allowed: {sorted(_RELIABILITY_PARAM_KEYS)})"
             )
+        unknown = set(self.overload_params) - _OVERLOAD_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown overload_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_OVERLOAD_PARAM_KEYS)})"
+            )
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")
         if self.n_requests < 10:
@@ -183,7 +210,8 @@ class SimulationConfig:
         params = ",".join(f"{k}={v}" for k, v in sorted(self.policy_params.items()))
         chaos = " +chaos" if self.chaos_params else ""
         hardened = " +reliability" if self.reliability_params else ""
+        shedding = " +overload" if self.overload_params else ""
         return (
             f"{self.policy}({params}) {self.workload} load={self.load:.0%} "
-            f"[{self.model}]{chaos}{hardened}"
+            f"[{self.model}]{chaos}{hardened}{shedding}"
         )

@@ -45,6 +45,7 @@ __all__ = [
     "figure4_pollsize",
     "figure6_pollsize",
     "message_scaling_section24",
+    "overload_goodput",
     "poll_profile_section32",
     "resilience_comparison",
     "table1_traces",
@@ -496,6 +497,50 @@ def resilience_comparison(
     )
     return FigureData(
         "Reliability layer: naive vs hardened under identical fault schedules",
+        report.table,
+        extras={"report": report, "comparison": report.mode_comparison()},
+    )
+
+
+def overload_goodput(
+    n_requests: int = 4_000,
+    n_servers: int = 16,
+    seed: int = 0,
+    offered_loads: Optional[Sequence[float]] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
+    archive: Optional[str] = None,
+) -> FigureData:
+    """Overload campaign: goodput past saturation, static vs adaptive.
+
+    Not a paper figure — the paper puts admission control out of scope
+    (§2), but its fine-grain services face exactly the bursty overload
+    this quantifies. Runs the policy × offered-load grid twice — the
+    naive static-bound cluster and the overload-control subsystem
+    (:mod:`repro.cluster.overload`) — under identical MMPP arrival
+    schedules, and reports goodput, p95-of-successes, and shed fraction
+    per cell (DESIGN.md §12, EXPERIMENTS.md goodput-under-overload
+    section).
+    """
+    from repro.experiments.overload import DEFAULT_OFFERED_LOADS, overload_campaign
+
+    report = overload_campaign(
+        offered_loads=(
+            DEFAULT_OFFERED_LOADS if offered_loads is None else offered_loads
+        ),
+        n_requests=n_requests,
+        n_servers=n_servers,
+        seed=seed,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        engine=engine,
+        archive=archive,
+    )
+    return FigureData(
+        "Overload control: goodput past saturation, static vs adaptive",
         report.table,
         extras={"report": report, "comparison": report.mode_comparison()},
     )

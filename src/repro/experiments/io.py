@@ -46,8 +46,14 @@ __all__ = [
 
 _SCHEMA_VERSION = 1
 
-#: schema version stamped on every telemetry export artifact
-TELEMETRY_SCHEMA_VERSION = 1
+#: schema version stamped on every telemetry export artifact.
+#: v2 added the per-span ``rejects`` count (admission rejections the
+#: request absorbed); v1 exports stay loadable — the field defaults
+#: to 0 on load.
+TELEMETRY_SCHEMA_VERSION = 2
+
+#: span fields introduced by schema v2 (optional when loading v1 files)
+_SPAN_FIELDS_ADDED_V2 = frozenset({"rejects"})
 
 
 def _result_to_dict(result: SimulationResult) -> dict:
@@ -103,7 +109,7 @@ def load_results(path: str | Path) -> list[SimulationResult]:
 # telemetry exports (spans JSONL, series CSV, accounting JSON)
 # ----------------------------------------------------------------------
 
-_INT_SPAN_FIELDS = frozenset({"index", "client_id", "server_id", "retries"})
+_INT_SPAN_FIELDS = frozenset({"index", "client_id", "server_id", "retries", "rejects"})
 
 
 def _nan_to_null(record: dict) -> dict:
@@ -155,6 +161,10 @@ def load_spans_jsonl(path: str | Path) -> list[dict]:
             f"supports ({TELEMETRY_SCHEMA_VERSION}); upgrade repro to read it"
         )
     required = set(SPAN_FIELDS)
+    if version < 2:
+        # v1 exports predate the rejects field; default it on load so
+        # downstream consumers see the full v2 shape.
+        required = required - _SPAN_FIELDS_ADDED_V2
     out = []
     for lineno, line in enumerate(lines[1:], start=2):
         if not line.strip():
@@ -165,6 +175,8 @@ def load_spans_jsonl(path: str | Path) -> list[dict]:
             raise ValueError(
                 f"{path}:{lineno}: span record missing field(s) {sorted(missing)}"
             )
+        if version < 2:
+            record.setdefault("rejects", 0)
         out.append(_null_to_nan(record))
     return out
 

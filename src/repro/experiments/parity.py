@@ -123,6 +123,37 @@ def parity_suite(
             },
         )
     )
+    # overload path: adaptive shedding with jittered probe admits,
+    # fast-reject NACK round trips, and availability withdraw/rejoin
+    # churn at 2x offered load — REJECT deliveries, shed-jitter draws,
+    # and publisher stop/start must order identically per engine
+    from repro.experiments.overload import (
+        overload_cluster_params,
+        overload_control_params,
+    )
+
+    overload_base = SimulationConfig(
+        workload="mmpp_exp",
+        n_servers=n_servers,
+        n_requests=n_requests,
+        seed=seed,
+        load=2.0,
+        cluster_params=overload_cluster_params(),
+        overload_params=overload_control_params(),
+    )
+    configs.append(overload_base.with_updates(policy="random"))
+    # overload x reliability: REJECT-driven breaker signals and hedge
+    # exclusion on top of the shedding machinery
+    configs.append(
+        overload_base.with_updates(
+            policy="polling",
+            policy_params={"poll_size": 3, "discard_slow": True},
+            reliability_params={
+                **hardened_reliability_params(),
+                "backoff_base": 0.002,
+            },
+        )
+    )
     return configs
 
 

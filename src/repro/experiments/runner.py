@@ -153,6 +153,11 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         from repro.cluster.reliability import ReliabilityPolicy
 
         reliability = ReliabilityPolicy(**config.reliability_params)
+    overload = None
+    if config.overload_params:
+        from repro.cluster.overload import OverloadPolicy
+
+        overload = OverloadPolicy(**config.overload_params)
     cluster = ServiceCluster(
         n_servers=config.n_servers,
         policy=policy,
@@ -163,6 +168,7 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         server_speeds=list(config.server_speeds) if config.server_speeds else None,
         engine=config.engine,
         reliability=reliability,
+        overload=overload,
         **config.cluster_params,
     )
     cluster.load_workload(gaps, services)
@@ -202,6 +208,17 @@ def run_with_telemetry(
     return result, cluster.telemetry.report()
 
 
+def _hardening_counters(cluster) -> dict[str, float]:
+    """Reliability + overload counters for chaos-free runs (empty when
+    neither subsystem is installed)."""
+    counters: dict[str, float] = {}
+    if cluster.reliability is not None:
+        counters.update(cluster.reliability.counters())
+    if cluster.overload is not None:
+        counters.update(cluster.overload_counters())
+    return counters
+
+
 def _summarize_run(
     config: SimulationConfig, cluster, nominal_rho: float, started: float
 ) -> SimulationResult:
@@ -237,13 +254,11 @@ def _summarize_run(
         chaos_counters=(
             resilience_counters(cluster.chaos, metrics)
             if cluster.chaos is not None
-            # Reliability-hardened runs without a chaos injector still
-            # surface their engine counters through the same channel.
-            else (
-                cluster.reliability.counters()
-                if cluster.reliability is not None
-                else {}
-            )
+            # Reliability/overload runs without a chaos injector still
+            # surface their counters through the same channel; plain
+            # runs keep the historical empty dict (bit-identical
+            # archives).
+            else _hardening_counters(cluster)
         ),
         telemetry_summary=(
             cluster.telemetry.summary() if cluster.telemetry is not None else {}

@@ -18,6 +18,7 @@ class MessageKind(str, Enum):
 
     REQUEST = "request"
     RESPONSE = "response"
+    REJECT = "reject"
     POLL = "poll"
     POLL_REPLY = "poll_reply"
     BROADCAST = "broadcast"
@@ -64,6 +65,7 @@ class Message:
 DEFAULT_SIZES: dict[MessageKind, int] = {
     MessageKind.REQUEST: 512,
     MessageKind.RESPONSE: 1024,
+    MessageKind.REJECT: 64,
     MessageKind.POLL: 64,
     MessageKind.POLL_REPLY: 64,
     MessageKind.BROADCAST: 64,

@@ -185,10 +185,15 @@ class TelemetryCollector:
     # reporting
     # ------------------------------------------------------------------
     def accounting(self) -> dict[str, dict[str, int]]:
-        """Message/byte/drop tallies per kind + the policy's counters."""
+        """Message/byte/drop tallies per kind + the policy's counters.
+
+        Runs with the overload subsystem installed additionally get an
+        ``"overload"`` section (shed/reject/withdrawal tallies); plain
+        runs keep the historical four-section shape.
+        """
         network = self.cluster.network
         policy = self.cluster.policy
-        return {
+        accounting = {
             "messages": {k.value: v for k, v in sorted(network.message_counts.items())},
             "bytes": {k.value: v for k, v in sorted(network.byte_counts.items())},
             "dropped": {k.value: v for k, v in sorted(network.dropped_counts.items())},
@@ -198,6 +203,12 @@ class TelemetryCollector:
                 if hasattr(policy, name)
             },
         }
+        if self.cluster.overload is not None:
+            accounting["overload"] = {
+                name: int(value)
+                for name, value in sorted(self.cluster.overload_counters().items())
+            }
+        return accounting
 
     def report(self, end_time: Optional[float] = None) -> TelemetryReport:
         """Assemble the final report (call after ``cluster.run()``)."""

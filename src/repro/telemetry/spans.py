@@ -64,6 +64,9 @@ class RequestSpan:
     staleness: float
     retries: int
     failed: bool
+    #: admission rejections (static bound or overload shedding) this
+    #: request absorbed across all delivery attempts (schema v2)
+    rejects: int
 
     @classmethod
     def from_request(cls, request: "Request") -> "RequestSpan":
@@ -92,6 +95,7 @@ class RequestSpan:
             staleness=staleness,
             retries=request.retries,
             failed=request.failed,
+            rejects=request.rejects,
         )
 
     def to_dict(self) -> dict:

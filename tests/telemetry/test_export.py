@@ -24,7 +24,7 @@ def span(index=0, staleness=1.5e-4, **overrides):
         t_start=0.002, t_completed=0.01, t_response=0.0101,
         service_time=0.008, response_time=0.0101, poll_time=0.001,
         queue_wait=0.0005, perceived_load=2.0, staleness=staleness,
-        retries=0, failed=False,
+        retries=0, failed=False, rejects=0,
     )
     values.update(overrides)
     return RequestSpan(**values)
@@ -44,12 +44,42 @@ def test_spans_jsonl_roundtrip(tmp_path):
 
 
 def test_spans_jsonl_header_carries_schema(tmp_path):
+    from repro.experiments.io import TELEMETRY_SCHEMA_VERSION
+
     path = tmp_path / "spans.jsonl"
     save_spans_jsonl([span()], path)
     header = json.loads(path.read_text().splitlines()[0])
     assert header["kind"] == "repro.telemetry.spans"
-    assert header["schema_version"] == 1
+    assert header["schema_version"] == TELEMETRY_SCHEMA_VERSION == 2
     assert header["fields"] == list(SPAN_FIELDS)
+    assert "rejects" in SPAN_FIELDS
+
+
+def test_spans_jsonl_v1_loads_with_rejects_defaulted(tmp_path):
+    """v1 exports predate the per-span rejects count; they must still
+    load, with the field defaulted to 0 (back-compat contract)."""
+    path = tmp_path / "spans.jsonl"
+    save_spans_jsonl([span(rejects=7)], path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    record = json.loads(lines[1])
+    header["schema_version"] = 1
+    del record["rejects"]
+    path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+    loaded = load_spans_jsonl(path)
+    assert loaded[0]["rejects"] == 0
+
+
+def test_spans_jsonl_v2_requires_rejects(tmp_path):
+    """Current-version records missing the rejects field are malformed."""
+    path = tmp_path / "spans.jsonl"
+    save_spans_jsonl([span()], path)
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[1])
+    del record["rejects"]
+    path.write_text(lines[0] + "\n" + json.dumps(record) + "\n")
+    with pytest.raises(ValueError, match="rejects"):
+        load_spans_jsonl(path)
 
 
 def test_spans_jsonl_rejects_malformed(tmp_path):
