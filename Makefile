@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,14 +20,28 @@ bench-quick:
 	REPRO_BENCH_SCALE=0.25 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # CI smoke: tier-1 tests, a ~30s quick figure bench (exercising the
-# sweep engine + result cache), and the heap-vs-calendar engine
-# microbenchmarks recorded to BENCH_engine.json.
+# sweep engine + result cache), and the engine microbenchmarks recorded
+# to BENCH_engine.json (pytest-benchmark) + BENCH_engines.json (the
+# schema-versioned perf trajectory). The trailing validate-bench step
+# exits nonzero when either artifact is missing, empty, or
+# schema-invalid, so a silently-broken bench run fails the smoke.
 bench-smoke:
 	$(PYTHON) -m pytest -x -q
 	$(PYTHON) -m repro fig3 --quick
 	$(PYTHON) -m repro parity --quick
-	$(PYTHON) -m pytest benchmarks/bench_engine_throughput.py --benchmark-only \
-		--benchmark-json=BENCH_engine.json -q
+	REPRO_BENCH_SCALE=0.25 $(PYTHON) -m pytest benchmarks/bench_engine_throughput.py \
+		--benchmark-only --benchmark-json=BENCH_engine.json -q
+	$(PYTHON) -m repro validate-bench \
+		--bench-file BENCH_engine.json --bench-file BENCH_engines.json
+
+# Large-N fast-path smoke (<60s): one 1k-server fastpath cell per
+# headline policy plus the mean-field cross-check, gated against the
+# committed speedup baseline (fails on >25% regression or a sub-10x
+# fast-vs-heap speedup on random/broadcast).
+scale-smoke:
+	$(PYTHON) -m repro scale --quick --seed 0 \
+		--check-against benchmarks/baselines/BENCH_scale.json
+	$(PYTHON) -m repro validate-bench --bench-file BENCH_scale.json
 
 # Tiny fixed-seed chaos campaign; the second invocation must be served
 # entirely from the result cache with bit-identical output.
@@ -71,5 +85,5 @@ figures:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/output build *.egg-info src/*.egg-info
-	rm -rf .repro-cache BENCH_engine.json .telemetry-smoke
+	rm -rf .repro-cache BENCH_engine.json BENCH_engines.json BENCH_scale.json .telemetry-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

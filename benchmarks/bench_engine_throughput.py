@@ -73,6 +73,31 @@ def test_cancel_heavy_workload(benchmark, engine):
     assert benchmark(run) == 10_000
 
 
+def test_engine_trajectory_artifact(benchmark, report):
+    """Engine x cluster-size throughput -> schema-versioned BENCH_engines.json.
+
+    The persistent perf-trajectory artifact (ISSUE 6): exact engines vs
+    the numpy fast path across cluster sizes, validated on write so an
+    empty or malformed artifact fails the bench instead of uploading
+    garbage. ``REPRO_BENCH_SCALE`` shrinks the request counts.
+    """
+    from benchmarks.conftest import run_once, scaled
+
+    from repro.experiments.perf import engine_trajectory, render_bench, save_bench
+
+    def build():
+        return engine_trajectory(
+            sizes=(16, 100, 1000),
+            base_requests=scaled(20_000),
+            fast_multiplier=10,
+        )
+
+    data = run_once(benchmark, build)
+    path = save_bench(data, "BENCH_engines.json")
+    report("bench_engines", render_bench(data) + f"\n[written to {path}]")
+    assert len(data["entries"]) == 9  # 3 engines x 3 sizes
+
+
 def test_server_node_throughput(benchmark):
     """End-to-end FIFO server servicing 10k requests."""
     rng = np.random.default_rng(0)

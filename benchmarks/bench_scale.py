@@ -1,0 +1,49 @@
+"""Large-N scale benchmark: fast path vs exact heap at 1000 servers.
+
+Produces the second persistent perf-trajectory artifact (ISSUE 6),
+``BENCH_scale.json``: requests/sec for the heap engine and the numpy
+fast path on each homogeneous policy at N=1000, the resulting speedup
+ratios, and a mean-field cross-check of the fast path's mean response
+time. The JSON is schema-validated on write, and the speedup floor
+(>=10x on random and broadcast) is asserted here so a fast-path
+performance regression fails the bench run itself, not just the later
+baseline comparison.
+"""
+
+from benchmarks.conftest import run_once, scaled
+
+from repro.experiments.perf import (
+    SCALE_FLOOR_POLICIES,
+    SCALE_SPEEDUP_FLOOR,
+    render_bench,
+    save_bench,
+    scale_trajectory,
+)
+
+
+def test_scale_trajectory_artifact(benchmark, report):
+    """Heap vs fast at N=1000 -> schema-versioned BENCH_scale.json."""
+    heap_requests = scaled(20_000)
+
+    def build():
+        return scale_trajectory(
+            n_servers=1_000,
+            heap_requests=heap_requests,
+            fast_requests=heap_requests * 10,
+            policies=("random", "polling", "broadcast", "stale_jsq"),
+        )
+
+    data = run_once(benchmark, build)
+    path = save_bench(data, "BENCH_scale.json")
+    report("bench_scale", render_bench(data) + f"\n[written to {path}]")
+
+    assert len(data["entries"]) == 8  # 2 engines x 4 policies
+    for policy in SCALE_FLOOR_POLICIES:
+        speedup = data["speedups"][policy]
+        assert speedup >= SCALE_SPEEDUP_FLOOR, (
+            f"fast path speedup on {policy} fell to {speedup:.1f}x "
+            f"(floor {SCALE_SPEEDUP_FLOOR:.0f}x)"
+        )
+    assert data["meanfield_ok"], "mean-field cross-check failed: " + "; ".join(
+        f"{cell['policy']} err={cell['rel_error']:.2%}" for cell in data["meanfield"]
+    )

@@ -55,6 +55,9 @@ _QUICK_REQUESTS = {
     "resilience": 600,
     "overload": 600,
     "trace": 800,
+    "fastparity": 2_000,
+    "scale": 6_000,
+    "bench-engines": 5_000,
 }
 
 
@@ -293,6 +296,86 @@ def _parity(args) -> str:
     return report.render()
 
 
+def _fastparity(args) -> str:
+    """Tier-2 validation: fast path vs heap at the distribution level."""
+    from repro.experiments.parity import distribution_parity, fastpath_suite
+
+    suite = fastpath_suite(n_requests=args.requests or 4_000, seed=args.seed)
+    report = distribution_parity(suite)
+    if not report.ok:
+        raise SystemExit(report.render())
+    return report.render()
+
+
+def _scale(args) -> str:
+    """Large-N scale bench: heap vs fast throughput + mean-field check.
+
+    Writes ``BENCH_scale.json`` (schema-validated); with
+    ``--check-against`` also compares speedups to a committed baseline
+    and exits nonzero on >25% regression, a broken 10x floor, or a
+    failed mean-field check.
+    """
+    from repro.experiments.perf import (
+        check_scale_regression,
+        load_bench,
+        render_bench,
+        save_bench,
+        scale_trajectory,
+    )
+
+    heap_requests = args.requests or (6_000 if args.quick else 20_000)
+    data = scale_trajectory(
+        n_servers=args.servers,
+        heap_requests=heap_requests,
+        fast_requests=heap_requests * 10,
+        seed=args.seed,
+    )
+    path = save_bench(data, (args.bench_file or ["BENCH_scale.json"])[0])
+    out = render_bench(data) + f"\n[written to {path}]"
+    problems: list[str] = []
+    if not data["meanfield_ok"]:
+        problems.append("mean-field check failed (see cells above)")
+    if args.check_against:
+        problems += check_scale_regression(data, load_bench(args.check_against))
+        out += f"\n[checked against {args.check_against}]"
+    if problems:
+        raise SystemExit(out + "\nscale bench FAILED:\n  " + "\n  ".join(problems))
+    return out
+
+
+def _bench_engines(args) -> str:
+    """Engine x cluster-size throughput trajectory -> BENCH_engines.json."""
+    from repro.experiments.perf import engine_trajectory, render_bench, save_bench
+
+    base_requests = args.requests or (5_000 if args.quick else 20_000)
+    data = engine_trajectory(
+        sizes=(16, 100, 1000) if not args.quick else (16, 100),
+        base_requests=base_requests,
+        seed=args.seed,
+    )
+    path = save_bench(data, (args.bench_file or ["BENCH_engines.json"])[0])
+    return render_bench(data) + f"\n[written to {path}]"
+
+
+def _validate_bench(args) -> str:
+    """Schema-validate BENCH_*.json artifacts; exit nonzero on failure."""
+    from repro.experiments.perf import BenchValidationError, load_bench, validate_bench
+
+    if not args.bench_file:
+        raise SystemExit("validate-bench requires at least one --bench-file")
+    lines = []
+    failures = []
+    for path in args.bench_file:
+        try:
+            kind = validate_bench(load_bench(path), source=str(path))
+            lines.append(f"  {path}: OK ({kind})")
+        except BenchValidationError as error:
+            failures.append(f"  {path}: {error}")
+    if failures:
+        raise SystemExit("bench validation FAILED:\n" + "\n".join(failures))
+    return "bench validation OK:\n" + "\n".join(lines)
+
+
 _COMMANDS: dict[str, tuple[Callable, str]] = {
     "table1": (_table1, "Table 1: trace statistics"),
     "fig2": (_fig2, "Figure 2: load-index inaccuracy vs delay"),
@@ -308,6 +391,10 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "resilience": (_resilience, "naive vs hardened reliability layer under chaos"),
     "overload": (_overload, "overload campaign: goodput past saturation"),
     "trace": (_trace, "request-lifecycle telemetry + staleness report"),
+    "fastparity": (_fastparity, "fast path vs heap distribution-level parity"),
+    "scale": (_scale, "large-N heap-vs-fast bench + mean-field check"),
+    "bench-engines": (_bench_engines, "engine x size throughput trajectory"),
+    "validate-bench": (_validate_bench, "schema-validate BENCH_*.json artifacts"),
 }
 
 
@@ -326,8 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--serial", action="store_true",
                         help="disable the process-pool sweep")
-    parser.add_argument("--engine", choices=["heap", "calendar"], default=None,
-                        help="event-queue engine (default: heap)")
+    parser.add_argument("--engine", choices=["heap", "calendar", "fast"], default=None,
+                        help="execution engine (default: heap; 'fast' is the "
+                             "numpy batch engine and rejects configs it "
+                             "cannot represent)")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache location (default: .repro-cache "
                              "or $REPRO_CACHE_DIR)")
@@ -350,6 +439,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--export-dir", default=None,
                         help="export `trace` telemetry (spans.jsonl, "
                              "series.csv, accounting.json) to this directory")
+    parser.add_argument("--servers", type=int, default=1000,
+                        help="cluster size for `scale` (default: 1000)")
+    parser.add_argument("--bench-file", action="append", default=None,
+                        metavar="PATH",
+                        help="bench artifact path: output for `scale`/"
+                             "`bench-engines`, input for `validate-bench` "
+                             "(repeatable)")
+    parser.add_argument("--check-against", default=None, metavar="BASELINE",
+                        help="for `scale`: committed BENCH_scale.json baseline "
+                             "to enforce the speedup-regression gate against")
     return parser
 
 

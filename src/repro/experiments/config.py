@@ -8,7 +8,7 @@ from typing import Any, Optional
 __all__ = ["SimulationConfig"]
 
 _MODELS = ("simulation", "prototype")
-_ENGINES = ("heap", "calendar")
+_ENGINES = ("heap", "calendar", "fast")
 
 #: ServiceCluster keyword arguments a config may forward (kept JSON-native
 #: so cache keys survive an archive round trip)
@@ -97,10 +97,15 @@ class SimulationConfig:
     caller has already computed it (the sweep drivers do this once per
     workload).
 
-    ``engine`` selects the event-queue implementation ("heap" or
-    "calendar"); both produce bit-identical results, so this is purely
-    a performance knob — but it participates in the result-cache key
-    so engine comparisons never alias each other's cache entries.
+    ``engine`` selects the execution engine: "heap" and "calendar" are
+    exact event-queue implementations producing bit-identical results
+    (a pure performance knob), while "fast" is the numpy batch engine
+    (:mod:`repro.sim.fastpath`) — distribution-identical, not
+    bit-identical, and restricted to the homogeneous simulation-model
+    policies (unsupported knobs raise ``FastpathUnsupportedError``
+    instead of silently falling back). The field participates in the
+    result-cache key so engine comparisons never alias each other's
+    cache entries.
 
     ``cluster_params`` forwards extra :class:`ServiceCluster` keyword
     arguments (availability subsystem, request timeouts, admission

@@ -37,6 +37,7 @@ __all__ = [
     "auto_chunksize",
     "build_cluster",
     "run_simulation",
+    "run_fast_simulation",
     "run_with_telemetry",
     "parallel_sweep",
 ]
@@ -138,6 +139,12 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
 
     Returns ``(cluster, nominal_rho)``; the workload is already loaded.
     """
+    if config.engine == "fast":
+        raise ValueError(
+            "engine='fast' has no object cluster; use run_simulation() "
+            "(which routes to repro.sim.fastpath) or pick an exact "
+            "engine ('heap'/'calendar') for cluster-level access"
+        )
     overhead = _overhead_for(config)
     nominal_rho = _resolve_nominal_rho(config, overhead)
     workload = make_workload(config.workload, **config.workload_params)
@@ -184,10 +191,53 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
 
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Run one configuration to completion and summarize."""
+    """Run one configuration to completion and summarize.
+
+    ``engine="fast"`` routes to the numpy batch engine
+    (:mod:`repro.sim.fastpath`); configs it cannot represent raise
+    :class:`~repro.sim.fastpath.FastpathUnsupportedError` — never a
+    silent fallback to an exact engine.
+    """
+    if config.engine == "fast":
+        return run_fast_simulation(config)
     started = time.perf_counter()
     cluster, nominal_rho = build_cluster(config)
     return _summarize_run(config, cluster, nominal_rho, started)
+
+
+def run_fast_simulation(config: SimulationConfig) -> SimulationResult:
+    """Run one config under the vectorized batch engine.
+
+    The result carries the same summary fields as an exact-engine run;
+    ``events_executed`` counts *batch ticks*, not per-object events, so
+    throughput comparisons across engines should use requests/sec.
+    """
+    from repro.sim.fastpath import run_fastpath
+
+    started = time.perf_counter()
+    run = run_fastpath(config, record_occupancy=False)
+    summary = run.metrics.summary(config.warmup_fraction)
+    return SimulationResult(
+        config=config,
+        mean_response_time=summary["mean_response_time"],
+        p50_response_time=summary["p50_response_time"],
+        p90_response_time=summary["p90_response_time"],
+        p99_response_time=summary["p99_response_time"],
+        mean_poll_time=summary["mean_poll_time"],
+        n_measured=summary["n_measured"],
+        n_failed=summary["n_failed"],
+        nominal_rho=run.nominal_rho,
+        wall_seconds=time.perf_counter() - started,
+        events_executed=run.ticks,
+        message_counts=dict(run.message_counts),
+        policy_counters=dict(run.policy_counters),
+        stolen_cpu=0.0,
+        server_counts=tuple(
+            int(v)
+            for v in run.metrics.server_counts(config.n_servers, config.warmup_fraction)
+        ),
+        p95_response_time=summary["p95_response_time"],
+    )
 
 
 def run_with_telemetry(
@@ -199,6 +249,11 @@ def run_with_telemetry(
     collector settings; the simulation outcome is bit-identical to the
     telemetry-off run of the same config (telemetry only records).
     """
+    if config.engine == "fast":
+        raise ValueError(
+            "telemetry requires an exact engine (heap/calendar); "
+            "engine='fast' does not execute per-request lifecycles"
+        )
     if not config.telemetry:
         config = config.with_updates(telemetry={"spans": True})
     started = time.perf_counter()
@@ -309,8 +364,9 @@ def parallel_sweep(
     fresh result; cached and fresh results are field-for-field
     identical, so enabling the cache never changes a sweep's output.
 
-    ``engine`` overrides every config's event-queue engine for this
-    sweep (``"heap"``/``"calendar"``); ``None`` leaves configs as-is.
+    ``engine`` overrides every config's execution engine for this sweep
+    (``"heap"``/``"calendar"``/``"fast"``); ``None`` leaves configs
+    as-is.
     """
     configs = list(configs)
     if engine is not None:

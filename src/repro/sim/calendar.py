@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import EventHandle, SimulationError, Simulator, _SENTINEL
@@ -120,7 +121,7 @@ class CalendarSimulator:
             )
         self._seq += 1
         handle = EventHandle(time, self._seq, fn, arg)
-        heapq.heappush(
+        _heappush(
             self._buckets[int(time / self._width) % self._n_buckets],
             (time, self._seq, handle),
         )
@@ -156,9 +157,10 @@ class CalendarSimulator:
         cursor (safe for :meth:`peek`).
         """
         best: Optional[tuple[float, int, EventHandle]] = None
+        heappop = _heappop
         for bucket in self._buckets:
             while bucket and bucket[0][2].cancelled:
-                heapq.heappop(bucket)
+                heappop(bucket)
                 self._qsize -= 1
             if bucket and (best is None or bucket[0] < best):
                 best = bucket[0]
@@ -171,6 +173,7 @@ class CalendarSimulator:
         buckets = self._buckets
         n = self._n_buckets
         width = self._width
+        heappop = _heappop
         while True:
             # Scan one full year starting at the cursor's day. A bucket
             # head is due when its own day (computed with the *same*
@@ -180,12 +183,12 @@ class CalendarSimulator:
             for _ in range(n):
                 bucket = buckets[day % n]
                 while bucket and bucket[0][2].cancelled:
-                    heapq.heappop(bucket)
+                    heappop(bucket)
                     self._qsize -= 1
                 if bucket and int(bucket[0][0] / width) <= day:
                     self._day = day
                     self._qsize -= 1
-                    return heapq.heappop(bucket)
+                    return heappop(bucket)
                 day += 1
             # Nothing due within a year of the cursor: jump straight to
             # the globally smallest event's day (sparse/far-future
@@ -208,7 +211,7 @@ class CalendarSimulator:
         self._buckets = [[] for _ in range(n_buckets)]
         width = self._width
         for entry in entries:
-            heapq.heappush(self._buckets[int(entry[0] / width) % n_buckets], entry)
+            _heappush(self._buckets[int(entry[0] / width) % n_buckets], entry)
         self._qsize = len(entries)
         # Restart the cursor at the current day under the new width;
         # nothing can be scheduled before `now`, so no event is skipped.
@@ -272,7 +275,7 @@ class CalendarSimulator:
                 # event's day — events scheduled after this run() at
                 # earlier times land in buckets behind that day and must
                 # still fire first.
-                heapq.heappush(
+                _heappush(
                     self._buckets[int(entry[0] / self._width) % self._n_buckets],
                     entry,
                 )

@@ -9,8 +9,12 @@ popped). This is the hot path of every experiment, so handles use
 
 from __future__ import annotations
 
-import heapq
 import math
+
+# Bound once at import: LOAD_GLOBAL on these beats the LOAD_GLOBAL +
+# LOAD_ATTR pair on ``heapq.heappush``/``heapq.heappop``, which run once
+# per event (profile-guided, bench_poll_profile.py).
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
@@ -105,7 +109,7 @@ class Simulator:
         """Time of the next live event, or ``inf`` if none remain."""
         heap = self._heap
         while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+            _heappop(heap)
         return heap[0][0] if heap else math.inf
 
     # ------------------------------------------------------------------
@@ -122,7 +126,7 @@ class Simulator:
         # Heap entries are (time, seq, handle) tuples: comparisons run in
         # C (floats/ints) instead of calling EventHandle.__lt__ ~1M times
         # per million events (profile-guided; ~8% of a polling run).
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        _heappush(self._heap, (time, self._seq, handle))
         self._pending += 1
         return handle
 
@@ -149,7 +153,7 @@ class Simulator:
         """Execute the next live event. Returns False if none remain."""
         heap = self._heap
         while heap:
-            handle = heapq.heappop(heap)[2]
+            handle = _heappop(heap)[2]
             if handle.cancelled:
                 continue
             self._pending -= 1
@@ -157,10 +161,11 @@ class Simulator:
             self._events_executed += 1
             if self.trace is not None:
                 self.trace(self._now, handle)
-            if handle.arg is _SENTINEL:
+            arg = handle.arg
+            if arg is _SENTINEL:
                 handle.fn()
             else:
-                handle.fn(handle.arg)
+                handle.fn(arg)
             return True
         return False
 
@@ -173,27 +178,43 @@ class Simulator:
         events scheduled at exactly ``until`` *do* execute.
         """
         heap = self._heap
+        heappop = _heappop
+        sentinel = _SENTINEL
         budget = math.inf if max_events is None else max_events
         limit = math.inf if until is None else until
         executed = 0
-        while heap and executed < budget:
-            time, _seq, handle = heap[0]
-            if handle.cancelled:
-                heapq.heappop(heap)
-                continue
-            if time > limit:
-                break
-            heapq.heappop(heap)
-            self._pending -= 1
-            self._now = handle.time
-            self._events_executed += 1
-            executed += 1
-            if self.trace is not None:
-                self.trace(self._now, handle)
-            if handle.arg is _SENTINEL:
-                handle.fn()
-            else:
-                handle.fn(handle.arg)
+        popped = 0
+        # The loop keeps ``executed``/``popped`` in locals and commits
+        # them to the instance in ``finally`` (callbacks can abort the
+        # run by raising, e.g. the cluster's run-complete unwind, and
+        # the counters must survive that). ``self._now`` is still
+        # written before every callback — callbacks read the clock.
+        # Nothing on the heap engine branches on ``_pending`` mid-run,
+        # so deferring the decrement is observationally safe.
+        try:
+            while heap and executed < budget:
+                entry = heap[0]
+                handle = entry[2]
+                if handle.cancelled:
+                    heappop(heap)
+                    continue
+                if entry[0] > limit:
+                    break
+                heappop(heap)
+                popped += 1
+                self._now = handle.time
+                executed += 1
+                trace = self.trace
+                if trace is not None:
+                    trace(self._now, handle)
+                arg = handle.arg
+                if arg is sentinel:
+                    handle.fn()
+                else:
+                    handle.fn(arg)
+        finally:
+            self._pending -= popped
+            self._events_executed += executed
         if until is not None and self._now < until:
             self._now = until
 

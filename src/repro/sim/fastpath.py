@@ -1,0 +1,487 @@
+"""Vectorized large-N batch engine for the homogeneous policies.
+
+The exact engines (heap/calendar) pay several Python events per request
+— arrival, REQUEST delivery, completion, RESPONSE delivery, plus poll
+round trips — which tops out around 10^5 events/sec and makes
+thousand-server, million-request cells impractical. This module trades
+*bit*-level fidelity for *distribution*-level fidelity: server state
+lives in NumPy arrays and time advances in fixed arrival-batch ticks,
+so the per-request cost is a handful of vectorized operations amortized
+over the batch.
+
+Model (simulation model only, workers=1, homogeneous speeds):
+
+- Requests arrive at ``cumsum(gaps)`` exactly as in the exact engines
+  (same ``workload`` substream, same load rescaling), dispatch after the
+  policy's constant selection latency (0 for random/broadcast/stale_jsq,
+  one UDP round trip for polling), travel one request one-way latency,
+  queue FIFO, and complete via the per-server Lindley recursion
+  ``start = max(server_arrival, server_free)``.
+- Queue lengths, broadcast tables, and stale-JSQ snapshots are arrays
+  updated at tick boundaries: a selection inside a tick sees server
+  state as of the tick start. The tick defaults to 1/8 of the smallest
+  relevant timescale (mean service time, broadcast interval, snapshot
+  interval), so the induced decision staleness is small against the
+  staleness the policies already model.
+- All randomness draws from the same named substreams as the exact
+  engines (``policy.random``, ``policy.polling``,
+  ``policy.broadcast.{ties,intervals}``, ``policy.stale.ties``), so each
+  (seed, policy, size) cell is deterministic and seed-comparable.
+
+Validation ladder (DESIGN.md §13): the exact engines stay bit-identical
+to each other (tier 1); the fast path is validated against the heap
+engine at small N by KS/occupancy agreement (tier 2,
+:func:`repro.experiments.parity.distribution_parity`) and against the
+mean-field/fluid limit at large N (tier 3,
+:mod:`repro.analysis.meanfield`).
+
+Anything the batch model cannot represent — prototype overhead, chaos,
+reliability, overload, telemetry, availability soft state, timeouts,
+admission bounds, heterogeneous speeds — raises
+:class:`FastpathUnsupportedError` so a config never *silently* runs
+under the approximate engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.cluster.system import ClusterMetrics
+from repro.core.registry import make_policy
+from repro.net.latency import PAPER_NET, PaperNetworkConstants
+from repro.sim.rng import RngHub
+from repro.workload.workloads import make_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import SimulationConfig
+
+__all__ = [
+    "FASTPATH_POLICIES",
+    "FastpathRun",
+    "FastpathUnsupportedError",
+    "fastpath_violations",
+    "run_fastpath",
+]
+
+#: policies the batch engine can represent
+FASTPATH_POLICIES = ("random", "polling", "broadcast", "stale_jsq")
+
+#: tick = (smallest relevant timescale) / _TICK_DIVISOR
+_TICK_DIVISOR = 16.0
+
+
+class FastpathUnsupportedError(ValueError):
+    """A config requires exact-engine semantics the batch model lacks."""
+
+
+def fastpath_violations(config: "SimulationConfig") -> list[str]:
+    """Config features the fast path cannot represent (empty = OK).
+
+    Each entry names the offending knob so the error message tells the
+    caller exactly what forced the exact engines.
+    """
+    violations: list[str] = []
+    if config.model != "simulation":
+        violations.append(f"model={config.model!r} (prototype overhead model)")
+    if config.policy not in FASTPATH_POLICIES:
+        violations.append(
+            f"policy={config.policy!r} (supported: {', '.join(FASTPATH_POLICIES)})"
+        )
+    if config.policy == "stale_jsq" and config.policy_params.get("local_increment"):
+        violations.append("policy_params.local_increment (per-client table state)")
+    if config.workers != 1:
+        violations.append(f"workers={config.workers} (multi-worker service)")
+    if config.server_speeds is not None:
+        violations.append("server_speeds (heterogeneous service rates)")
+    for key in sorted(set(config.cluster_params) - {"record_server_queues"}):
+        violations.append(f"cluster_params.{key}")
+    if config.chaos_params:
+        violations.append("chaos_params (fault injection)")
+    if config.telemetry:
+        violations.append("telemetry (per-request span recording)")
+    if config.reliability_params:
+        violations.append("reliability_params (timeouts/backoff/hedging)")
+    if config.overload_params:
+        violations.append("overload_params (admission control)")
+    return violations
+
+
+def require_fastpath_supported(config: "SimulationConfig") -> None:
+    """Raise :class:`FastpathUnsupportedError` listing every offending
+    knob (loud fallback — never silently substitute an exact engine)."""
+    violations = fastpath_violations(config)
+    if violations:
+        raise FastpathUnsupportedError(
+            "engine='fast' cannot represent this config; re-run with "
+            "--engine heap (or calendar). Unsupported: "
+            + "; ".join(violations)
+        )
+
+
+@dataclass
+class FastpathRun:
+    """Everything a fast-path run produces.
+
+    ``metrics`` is a fully populated :class:`ClusterMetrics` (same
+    summary path as the exact engines). ``occupancy`` is the
+    time-weighted distribution of per-server queue lengths over the
+    post-warmup window — ``occupancy[k]`` is the fraction of
+    server-time spent with exactly ``k`` requests in system — the
+    tier-2 comparison object against the heap engine and the empirical
+    counterpart of the mean-field tail ``s_k``.
+    """
+
+    metrics: ClusterMetrics
+    nominal_rho: float
+    ticks: int
+    tick_length: float
+    occupancy: Optional[np.ndarray]
+    message_counts: dict[str, int] = field(default_factory=dict)
+    policy_counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def occupancy_tail(self) -> np.ndarray:
+        """``s_k = P[queue length >= k]`` (mean-field's coordinates)."""
+        if self.occupancy is None:
+            raise ValueError("run_fastpath(record_occupancy=True) required")
+        return np.concatenate(([1.0], 1.0 - np.cumsum(self.occupancy)[:-1]))
+
+
+def _distinct_candidates(
+    rng: np.random.Generator, n_batch: int, d: int, n_servers: int
+) -> np.ndarray:
+    """``(n_batch, d)`` rows of distinct server ids, uniform like the
+    exact engine's rejection sampler."""
+    if d >= n_servers:
+        return np.broadcast_to(np.arange(n_servers), (n_batch, n_servers)).copy()
+    cand = rng.integers(0, n_servers, size=(n_batch, d))
+    if d > 1:
+        while True:
+            ordered = np.sort(cand, axis=1)
+            dup = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+            if not dup.any():
+                break
+            cand[dup] = rng.integers(0, n_servers, size=(int(dup.sum()), d))
+    return cand
+
+
+def _exact_occupancy(
+    server_arrival: np.ndarray,
+    completion: np.ndarray,
+    choice: np.ndarray,
+    n_servers: int,
+    t0: float,
+    t1: float,
+) -> np.ndarray:
+    """Exact time-weighted distribution of per-server queue lengths.
+
+    Reconstructed post-hoc from the assignment arrays (+1 at server
+    arrival, −1 at completion), so it carries no tick-sampling error:
+    ``result[k]`` is the exact fraction of server-time in ``[t0, t1]``
+    spent with ``k`` requests in system, matching the heap engine's
+    ``StepRecorder`` semantics (queued + in service).
+    """
+    if t1 <= t0:
+        return np.array([1.0])
+    n = choice.shape[0]
+    times = np.concatenate((server_arrival, completion))
+    deltas = np.concatenate((np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64)))
+    servers = np.concatenate((choice, choice)).astype(np.int64)
+    order = np.lexsort((times, servers))
+    t_sorted = times[order]
+    s_sorted = servers[order]
+    level = np.cumsum(deltas[order])
+    boundary = np.empty(2 * n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(s_sorted[1:], s_sorted[:-1], out=boundary[1:])
+    seg_start = np.flatnonzero(boundary)
+    # Restart the running level at each server boundary.
+    prev = np.concatenate(([0], level[:-1]))
+    seg_sizes = np.diff(np.append(seg_start, 2 * n))
+    level = level - np.repeat(prev[seg_start], seg_sizes)
+    # Each event's level holds until the next event on the same server;
+    # a server's last event holds until the window end.
+    hold_until = np.empty(2 * n)
+    hold_until[:-1] = t_sorted[1:]
+    hold_until[-1] = t1
+    hold_until[seg_start - 1] = t1  # seg_start[0]-1 wraps to the final event
+    duration = np.clip(hold_until, t0, t1) - np.clip(t_sorted, t0, t1)
+    # Simultaneous events on one server can transiently order a
+    # completion before an unrelated arrival (level −1 for zero
+    # duration); clamp for bincount.
+    hist = np.bincount(np.maximum(level, 0), weights=duration)
+    # Level-0 time before each server's first event, plus the whole
+    # window for servers that never received a request.
+    first_t = np.clip(t_sorted[seg_start], t0, t1)
+    hist[0] += float((first_t - t0).sum()) + (n_servers - seg_start.size) * (t1 - t0)
+    return hist / hist.sum()
+
+
+def _lindley_assign(
+    free: np.ndarray,
+    choice: np.ndarray,
+    server_arrival: np.ndarray,
+    service: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """FIFO completion times for one batch of assignments.
+
+    Jobs hitting the same server within a batch are serialized in
+    arrival order via occurrence-rank rounds: round ``r`` processes each
+    server's ``r``-th job of the batch, so every round is a pure
+    vectorized ``max``/add over unique servers. ``free`` is updated in
+    place. Returns ``(start, completion)`` per job.
+    """
+    n = choice.shape[0]
+    start = np.empty(n)
+    completion = np.empty(n)
+    order = np.argsort(choice, kind="stable")
+    sorted_choice = choice[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_choice[1:], sorted_choice[:-1], out=boundary[1:])
+    group_start = np.flatnonzero(boundary)
+    group_sizes = np.diff(np.append(group_start, n))
+    # Groups are contiguous in `order`, so round r's jobs sit at
+    # group_start + r of the still-active groups — each round is O(active
+    # groups), O(n) total, instead of an O(n) scan per round.
+    for rank in range(int(group_sizes.max())):
+        active = group_sizes > rank
+        idx = order[group_start[active] + rank]
+        servers = choice[idx]
+        begin = np.maximum(server_arrival[idx], free[servers])
+        finish = begin + service[idx]
+        free[servers] = finish
+        start[idx] = begin
+        completion[idx] = finish
+        group_start = group_start[active]
+        group_sizes = group_sizes[active]
+    return start, completion
+
+
+def run_fastpath(
+    config: "SimulationConfig",
+    tick: Optional[float] = None,
+    constants: PaperNetworkConstants = PAPER_NET,
+    record_occupancy: bool = True,
+) -> FastpathRun:
+    """Run one supported config under the vectorized batch engine.
+
+    ``record_occupancy=False`` skips the post-hoc occupancy
+    reconstruction (an O(n log n) sort) for throughput-only runs; the
+    result's ``occupancy`` is then ``None``.
+    """
+    require_fastpath_supported(config)
+    # Instantiating the real policy object validates policy_params
+    # exactly as the exact engines would (bad poll_size, missing
+    # mean_interval, ...) and hands us its canonical attributes.
+    policy = make_policy(config.policy, **config.policy_params)
+
+    hub = RngHub(config.seed)
+    workload = make_workload(config.workload, **config.workload_params)
+    gaps, services = workload.generate(hub.stream("workload"), config.n_requests)
+    nominal_rho = config.load
+    mean_service = float(services.mean())
+    target_interval = mean_service / (config.n_servers * nominal_rho)
+    gaps = gaps * (target_interval / float(gaps.mean()))
+    arrivals = np.cumsum(gaps)
+
+    n = config.n_requests
+    n_servers = config.n_servers
+    one_way = constants.request_one_way
+
+    # Per-policy selection latency (constant in the simulation model:
+    # polls ride two UDP one-ways, instant policies dispatch at arrival).
+    kind = config.policy
+    poll_size = 0
+    degenerate_discard = False
+    if kind == "polling":
+        poll_size = min(policy.poll_size, n_servers)
+        dispatch_offset = constants.udp_rtt
+        discard_timeout = (
+            policy.discard_timeout
+            if policy.discard_timeout is not None
+            else constants.discard_timeout
+        )
+        # With constant latencies every reply lands at +udp_rtt, so the
+        # §3.2 discard machinery only bites when the deadline beats the
+        # round trip — then zero replies are in and the *first* reply
+        # (the first poll sent) decides, i.e. a uniform random pick.
+        degenerate_discard = policy.discard_slow and discard_timeout < constants.udp_rtt
+    else:
+        dispatch_offset = 0.0
+    server_arrival = arrivals + (dispatch_offset + one_way)
+
+    # Tick: 1/_TICK_DIVISOR of the smallest timescale that selection
+    # state evolves on. Small N runs degrade toward per-arrival batches
+    # (slow but maximally faithful — exactly where tier-2 validates);
+    # large N runs pack hundreds of arrivals per tick.
+    if tick is None:
+        base = mean_service if mean_service > 0 else target_interval * n_servers
+        if kind == "broadcast":
+            base = min(base, policy.mean_interval)
+        elif kind == "stale_jsq":
+            base = min(base, policy.update_interval)
+        tick = base / _TICK_DIVISOR
+    if tick <= 0:
+        raise ValueError(f"tick must be > 0, got {tick}")
+
+    # Policy state + substreams (same names as the exact engines).
+    if kind == "random":
+        rng_policy = hub.stream("policy.random")
+    elif kind == "polling":
+        rng_policy = hub.stream("policy.polling")
+    elif kind == "broadcast":
+        rng_ties = hub.stream("policy.broadcast.ties")
+        rng_intervals = hub.stream("policy.broadcast.intervals")
+        table = np.zeros(n_servers)
+        next_announce = (
+            rng_intervals.uniform(0.5, 1.5, size=n_servers) * policy.mean_interval
+        )
+        broadcasts_sent = 0
+    else:  # stale_jsq
+        rng_ties = hub.stream("policy.stale.ties")
+        snapshot = np.zeros(n_servers)
+        next_refresh = policy.update_interval
+        refreshes = 0
+
+    # Server state.
+    free = np.zeros(n_servers)  # work-drain time per server
+    qlen = np.zeros(n_servers, dtype=np.int64)  # queued + in service
+    pend_completion = np.empty(0)
+    pend_server = np.empty(0, dtype=np.int64)
+
+    metrics = ClusterMetrics(n)
+    metrics.arrival_time[:] = arrivals
+    metrics.poll_time[:] = 0.0 if kind != "polling" else constants.udp_rtt
+
+    # Random never reads server state, so the whole run is one exact
+    # batch — its response times match the heap engine's exactly.
+    window = math.inf if kind == "random" else float(tick)
+    skip_ahead = kind in ("random", "polling")  # no timed control state
+    t = float(tick) * math.floor(float(arrivals[0]) / tick)
+    i0 = 0
+    ticks = 0
+    while i0 < n:
+        ticks += 1
+        t_end = t + window
+
+        # 1. Completions up to the tick start leave the system.
+        if pend_completion.size:
+            done = pend_completion <= t
+            if done.any():
+                qlen -= np.bincount(pend_server[done], minlength=n_servers)
+                keep = ~done
+                pend_completion = pend_completion[keep]
+                pend_server = pend_server[keep]
+
+        # 2. Timed control state due inside this tick.
+        if kind == "broadcast":
+            while True:
+                due = next_announce < t_end
+                if not due.any():
+                    break
+                table[due] = qlen[due]
+                broadcasts_sent += int(due.sum())
+                next_announce[due] += (
+                    rng_intervals.uniform(0.5, 1.5, size=int(due.sum()))
+                    * policy.mean_interval
+                )
+        elif kind == "stale_jsq":
+            while next_refresh < t_end:
+                snapshot[:] = qlen
+                refreshes += 1
+                next_refresh += policy.update_interval
+
+        # 3. Select + assign this tick's arrivals.
+        i1 = int(np.searchsorted(arrivals, t_end, side="left"))
+        if i1 > i0:
+            batch = slice(i0, i1)
+            n_batch = i1 - i0
+            if kind == "random":
+                choice = rng_policy.integers(0, n_servers, size=n_batch)
+            elif kind == "polling":
+                cand = _distinct_candidates(rng_policy, n_batch, poll_size, n_servers)
+                if degenerate_discard:
+                    choice = cand[:, 0]
+                else:
+                    # Integer queue lengths + U[0,1) noise == uniform
+                    # tie-breaking among minima (choose_min_with_ties).
+                    keys = qlen[cand] + rng_policy.random(cand.shape)
+                    choice = cand[np.arange(n_batch), np.argmin(keys, axis=1)]
+            else:
+                view = table if kind == "broadcast" else snapshot
+                minima = np.flatnonzero(view == view.min())
+                choice = minima[rng_ties.integers(0, minima.size, size=n_batch)]
+
+            start, completion = _lindley_assign(
+                free, choice, server_arrival[batch], services[batch]
+            )
+            if i1 < n:  # final batch: no later selection reads state
+                qlen += np.bincount(choice, minlength=n_servers)
+                pend_completion = np.concatenate((pend_completion, completion))
+                pend_server = np.concatenate((pend_server, choice))
+
+            metrics.response_time[batch] = completion + one_way - arrivals[batch]
+            metrics.queue_wait[batch] = start - server_arrival[batch]
+            metrics.server_id[batch] = choice
+            i0 = i1
+
+        t = t_end
+        if skip_ahead and i0 < n:
+            # Jump empty stretches (no timed control state to replay).
+            t_next_arrival = float(tick) * math.floor(float(arrivals[i0]) / tick)
+            if t_next_arrival > t:
+                t = t_next_arrival
+
+    # Exact occupancy over the post-warmup arrival window, reconstructed
+    # from the completed assignment (no tick-sampling error).
+    occupancy = None
+    if record_occupancy:
+        warmup_index = int(n * config.warmup_fraction)
+        occupancy = _exact_occupancy(
+            server_arrival,
+            metrics.response_time + arrivals - one_way,
+            metrics.server_id,
+            n_servers,
+            float(arrivals[min(warmup_index, n - 1)]),
+            float(arrivals[-1]),
+        )
+
+    message_counts = {"request": n, "response": n}
+    policy_counters: dict[str, int] = {}
+    if kind == "polling":
+        message_counts["poll"] = poll_size * n
+        message_counts["poll_reply"] = poll_size * n
+        if degenerate_discard:
+            policy_counters = {
+                "polls_sent": poll_size * n,
+                "replies_received": n,
+                "replies_discarded": (poll_size - 1) * n,
+                "timeouts_fired": n,
+            }
+        else:
+            policy_counters = {
+                "polls_sent": poll_size * n,
+                "replies_received": poll_size * n,
+                "replies_discarded": 0,
+                "timeouts_fired": 0,
+            }
+    elif kind == "broadcast":
+        message_counts["broadcast"] = broadcasts_sent * config.n_clients
+        policy_counters = {"broadcasts_sent": broadcasts_sent}
+    elif kind == "stale_jsq":
+        policy_counters = {"refreshes": refreshes}
+
+    return FastpathRun(
+        metrics=metrics,
+        nominal_rho=nominal_rho,
+        ticks=ticks,
+        tick_length=float(tick),
+        occupancy=occupancy,
+        message_counts=message_counts,
+        policy_counters=policy_counters,
+    )

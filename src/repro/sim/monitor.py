@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["GrowableArray", "StepRecorder", "TallyRecorder"]
+__all__ = ["GrowableArray", "StepRecorder", "TallyRecorder", "step_occupancy"]
 
 
 class GrowableArray:
@@ -145,3 +145,33 @@ class StepRecorder:
         values = np.concatenate(([initial], bp_v[inside]))
         durations = np.diff(times)
         return float(np.dot(values, durations) / (t1 - t0))
+
+
+def step_occupancy(
+    recorder: StepRecorder, t0: float, t1: float, minlength: int = 0
+) -> np.ndarray:
+    """Time-weighted histogram of a :class:`StepRecorder`'s integer
+    values over ``[t0, t1]``.
+
+    ``result[k]`` is the total time the step function spent at value
+    ``k`` — for a server queue-length recorder, the un-normalized
+    occupancy distribution compared against the fast path's
+    (DESIGN.md §13 tier 2). Sum histograms across servers, then
+    normalize.
+    """
+    if t1 <= t0:
+        raise ValueError(f"empty interval [{t0}, {t1}]")
+    bp_t, bp_v = recorder.breakpoints()
+    if bp_t.size == 0:
+        level = max(int(recorder.initial), 0)
+        hist = np.zeros(max(minlength, level + 1))
+        hist[level] = t1 - t0
+        return hist
+    start_idx = np.searchsorted(bp_t, t0, side="right") - 1
+    initial = bp_v[start_idx] if start_idx >= 0 else recorder.initial
+    inside = (bp_t > t0) & (bp_t < t1)
+    times = np.concatenate(([t0], bp_t[inside], [t1]))
+    values = np.concatenate(([initial], bp_v[inside]))
+    durations = np.diff(times)
+    levels = np.maximum(values.astype(np.int64), 0)
+    return np.bincount(levels, weights=durations, minlength=minlength)

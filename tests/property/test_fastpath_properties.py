@@ -1,0 +1,60 @@
+"""Property-based tier-2 agreement: fast path vs heap engine.
+
+For any seed and any supported policy, the batch engine must produce
+the *same response-time distribution* as the exact heap engine — the
+whole contract of ``--engine fast``. Hypothesis drives (seed, policy,
+load) over small cells where the exact engine is cheap; agreement is
+measured exactly as in :func:`repro.experiments.parity.
+distribution_parity` but with thresholds widened for the short runs
+(KS noise floor at n≈900 post-warmup samples is ~0.065 alone).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import distribution_distance, ks_statistic
+from repro.experiments.config import SimulationConfig
+from repro.experiments.parity import fast_distribution, heap_distribution
+
+_POLICY_PARAMS = {
+    "random": {},
+    "polling": {"poll_size": 2},
+    "broadcast": {"mean_interval": 0.01},
+    "stale_jsq": {"update_interval": 0.02},
+}
+
+KS_THRESHOLD = 0.12
+OCCUPANCY_THRESHOLD = 0.12
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 2**16),
+    policy=st.sampled_from(sorted(_POLICY_PARAMS)),
+    load=st.sampled_from([0.5, 0.8]),
+)
+def test_fastpath_distribution_matches_heap(seed, policy, load):
+    config = SimulationConfig(
+        policy=policy,
+        policy_params=_POLICY_PARAMS[policy],
+        workload="poisson_exp",
+        load=load,
+        n_servers=6,
+        n_requests=1_000,
+        seed=seed,
+    )
+    heap_responses, heap_occupancy = heap_distribution(config)
+    fast_responses, fast_occupancy = fast_distribution(config)
+
+    ks = ks_statistic(heap_responses, fast_responses)
+    occ = distribution_distance(heap_occupancy, fast_occupancy)
+    assert ks <= KS_THRESHOLD, (
+        f"{policy} seed={seed} load={load}: response-time KS {ks:.4f}"
+    )
+    assert occ <= OCCUPANCY_THRESHOLD, (
+        f"{policy} seed={seed} load={load}: occupancy distance {occ:.4f}"
+    )
