@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke scenario-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -65,6 +65,15 @@ resilience-smoke:
 overload-smoke:
 	$(PYTHON) -m repro overload --quick --seed 0
 	$(PYTHON) -m repro overload --quick --seed 0
+
+# Quick composed scenario (<60s): validates the builtin spec, then runs
+# the trimmed grid — chaos + hardened reliability + overload control +
+# one trace-replay workload across two cluster scales; the second
+# invocation must be served entirely from the result cache.
+scenario-smoke:
+	$(PYTHON) -m repro scenario --quick --validate
+	$(PYTHON) -m repro scenario --quick --seed 0
+	$(PYTHON) -m repro scenario --quick --seed 0
 
 examples:
 	$(PYTHON) examples/quickstart.py

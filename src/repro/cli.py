@@ -14,6 +14,8 @@ Usage::
     python -m repro chaos --quick
     python -m repro resilience --quick
     python -m repro overload --quick
+    python -m repro scenario --quick
+    python -m repro scenario --spec grid.yaml --validate
     python -m repro trace --policy broadcast --policy-param mean_interval=0.1
     python -m repro list
 
@@ -54,6 +56,7 @@ _QUICK_REQUESTS = {
     "chaos": 600,
     "resilience": 600,
     "overload": 600,
+    "scenario": 400,
     "trace": 800,
     "fastparity": 2_000,
     "scale": 6_000,
@@ -223,6 +226,47 @@ def _overload(args) -> str:
     return out
 
 
+def _scenario(args) -> str:
+    """Composed scenario: expand a declarative spec, run it, report."""
+    from repro.experiments.scenario import (
+        BUILTIN_SCENARIOS,
+        ScenarioError,
+        load_spec,
+    )
+
+    ref = args.spec or "composed"
+    try:
+        if ref in BUILTIN_SCENARIOS:
+            spec = BUILTIN_SCENARIOS[ref](
+                n_requests=args.requests or 4_000,
+                seed=args.seed,
+                quick=args.quick,
+            )
+        else:
+            spec = load_spec(ref)
+        # Expansion validates every axis; --validate stops here.
+        cells = spec.expand()
+    except ScenarioError as error:
+        raise SystemExit(f"scenario validation FAILED: {error}")
+    if args.validate:
+        lines = [
+            f"scenario OK: {spec.name!r} expands to {len(cells)} cells",
+            f"  policies:  {', '.join(p.label for p in spec.policies)}",
+            f"  workloads: {', '.join(w.label for w in spec.workloads)}",
+            f"  loads:     {', '.join(f'{v:g}' for v in spec.loads)}",
+            f"  modes:     {', '.join(m.label or '(default)' for m in spec.modes)}",
+            f"  faults:    {', '.join(f.label or '(none)' for f in spec.faults)}",
+            f"  scales:    {', '.join(s.label or '(default)' for s in spec.scales)}",
+        ]
+        return "\n".join(lines)
+    report = spec.run(
+        parallel=not args.serial,
+        archive=args.export_dir,
+        **_sweep_kwargs(args),
+    )
+    return report.render()
+
+
 def _trace(args) -> str:
     """Telemetry run: lifecycle spans, staleness report, sampled series."""
     import numpy as np
@@ -390,6 +434,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (_chaos, "chaos campaign: resilience under injected faults"),
     "resilience": (_resilience, "naive vs hardened reliability layer under chaos"),
     "overload": (_overload, "overload campaign: goodput past saturation"),
+    "scenario": (_scenario, "declarative scenario composition (spec file or builtin)"),
     "trace": (_trace, "request-lifecycle telemetry + staleness report"),
     "fastparity": (_fastparity, "fast path vs heap distribution-level parity"),
     "scale": (_scale, "large-N heap-vs-fast bench + mean-field check"),
@@ -438,7 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "seconds for `trace` (default: 0.05)")
     parser.add_argument("--export-dir", default=None,
                         help="export `trace` telemetry (spans.jsonl, "
-                             "series.csv, accounting.json) to this directory")
+                             "series.csv, accounting.json) to this directory; "
+                             "for `scenario`, archive all results to this path")
+    parser.add_argument("--spec", default=None, metavar="NAME_OR_PATH",
+                        help="for `scenario`: a builtin name (default: "
+                             "'composed') or a .json/.yaml spec file")
+    parser.add_argument("--validate", action="store_true",
+                        help="for `scenario`: expand and validate the spec "
+                             "without running it (exits nonzero naming the "
+                             "offending axis on failure)")
     parser.add_argument("--servers", type=int, default=1000,
                         help="cluster size for `scale` (default: 1000)")
     parser.add_argument("--bench-file", action="append", default=None,

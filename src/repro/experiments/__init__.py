@@ -55,32 +55,59 @@ from repro.experiments.overload import (
     overload_cluster_params,
     overload_control_params,
 )
+from repro.experiments.scenario import (
+    BUILTIN_SCENARIOS,
+    FaultAxis,
+    ModeAxis,
+    PolicyAxis,
+    ScaleAxis,
+    ScenarioCell,
+    ScenarioError,
+    ScenarioReport,
+    ScenarioSpec,
+    WorkloadAxis,
+    composed_spec,
+    load_spec,
+    spec_from_dict,
+)
 from repro.experiments import figures, regression
 
 __all__ = [
+    "BUILTIN_SCENARIOS",
     "EngineParityReport",
+    "FaultAxis",
+    "ModeAxis",
     "NAIVE_VS_HARDENED",
     "OverloadReport",
+    "PolicyAxis",
     "ReplicatedResult",
     "ResilienceReport",
     "STATIC_VS_ADAPTIVE",
     "ResultCache",
     "ResultTable",
+    "ScaleAxis",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioSpec",
     "SimulationConfig",
     "SimulationResult",
     "SweepExecutor",
     "SweepStats",
+    "WorkloadAxis",
     "build_cluster",
     "chaos_campaign",
     "chaos_cluster_params",
     "chaos_params_for",
     "compare_policies",
+    "composed_spec",
     "config_key",
     "default_cache_dir",
     "engine_parity",
     "figures",
     "format_table",
     "hardened_reliability_params",
+    "load_spec",
     "load_attempts_jsonl",
     "load_results",
     "load_spans_jsonl",
@@ -95,6 +122,7 @@ __all__ = [
     "run_with_telemetry",
     "save_results",
     "save_telemetry",
+    "spec_from_dict",
     "staleness_response_table",
     "validate_telemetry_dir",
 ]

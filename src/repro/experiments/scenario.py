@@ -1,0 +1,962 @@
+"""Declarative scenario composition: axes x modes x grid -> cells -> report.
+
+Chaos (PR 2), reliability (PR 4), overload (PR 5), and telemetry each
+grew their own campaign module with the same shape — a hand-rolled
+nest of loops over (mode, policy, level) building ``SimulationConfig``
+objects, a ``SweepExecutor``/``parallel_sweep`` branch, and a bespoke
+report. This module factors that shape out once:
+
+- a :class:`ScenarioSpec` declares the axes — workloads, policies,
+  loads, subsystem *modes* (reliability/overload/telemetry knob sets),
+  *faults* (chaos knob sets), and *scales* (cluster sizes) — plus the
+  shared scalars (seed, engine, cluster params, a label format);
+- :meth:`ScenarioSpec.expand` validates the composition and produces
+  the full cross-product as :class:`ScenarioCell` objects, each
+  carrying an ordinary :class:`SimulationConfig` — so every cell flows
+  through the existing executor, content-addressed result cache, and
+  archive machinery unchanged;
+- :meth:`ScenarioSpec.run` executes the cells and renders a unified
+  :class:`ScenarioReport`.
+
+The legacy campaigns (:mod:`repro.experiments.chaos`,
+:mod:`repro.experiments.overload`) are now thin specs on top of this
+engine; the golden-equivalence suite
+(``tests/experiments/test_scenario_golden.py``) proves the re-plumbing
+is invisible — bit-identical results and reports at fixed seeds on
+both exact engines.
+
+Validation is eager and *names the offending axis*: unknown policy or
+workload names, bad subsystem knobs, colliding cell labels, and knob
+combinations the chosen engine cannot execute (e.g. ``engine="fast"``
+with chaos or telemetry) all raise :class:`ScenarioError` before any
+simulation starts. Specs are declarative data: :func:`spec_from_dict`
+builds one from a plain dict, :func:`load_spec` reads JSON or an
+indentation-based YAML-lite subset (``repro scenario --spec``), and
+:func:`composed_spec` is the built-in "paper + chaos + overload +
+hardened, at three scales, one command" grid — including a
+trace-replay workload (:mod:`repro.workload.replay`), the first axis
+the bespoke campaigns could not express.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.experiments.config import (
+    _CHAOS_PARAM_KEYS,
+    _CLUSTER_PARAM_KEYS,
+    _OVERLOAD_PARAM_KEYS,
+    _RELIABILITY_PARAM_KEYS,
+    _TELEMETRY_PARAM_KEYS,
+    SimulationConfig,
+)
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.io import save_results
+from repro.experiments.results import ResultTable
+from repro.experiments.runner import SimulationResult, parallel_sweep
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "FaultAxis",
+    "ModeAxis",
+    "PolicyAxis",
+    "ScaleAxis",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "WorkloadAxis",
+    "composed_spec",
+    "load_spec",
+    "run_cells",
+    "spec_from_dict",
+]
+
+_ENGINES = ("heap", "calendar", "fast")
+
+#: SimulationConfig fields a spec may set via ``config_overrides``
+#: (everything not already owned by an axis or a spec scalar)
+_OVERRIDE_FIELDS = frozenset(
+    {
+        "n_clients",
+        "model",
+        "warmup_fraction",
+        "workers",
+        "server_speeds",
+        "overhead_params",
+        "full_load_rho",
+    }
+)
+
+
+class ScenarioError(ValueError):
+    """A spec failed validation; ``axis`` names the offending axis."""
+
+    def __init__(self, axis: str, message: str, entry: Optional[str] = None):
+        self.axis = axis
+        self.entry = entry
+        where = f"axis {axis!r}"
+        if entry is not None:
+            where += f", entry {entry!r}"
+        super().__init__(f"invalid scenario: {where}: {message}")
+
+
+# ----------------------------------------------------------------------
+# axes
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PolicyAxis:
+    """One policy leg: display label, registry name, constructor params."""
+
+    label: str
+    policy: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkloadAxis:
+    """One workload leg: display label, registry name, builder params."""
+
+    label: str
+    workload: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ModeAxis:
+    """One subsystem mode: reliability/overload/telemetry knob sets.
+
+    An all-empty mode is the naive baseline — per the repo invariant,
+    it runs bit-identical to a pre-subsystem build.
+    """
+
+    label: str
+    reliability: dict[str, Any] = field(default_factory=dict)
+    overload: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FaultAxis:
+    """One chaos level: a :class:`~repro.cluster.failures.ChaosSpec`
+    knob set, plus an optional numeric ``value`` (e.g. the intensity
+    scalar it was derived from) for reports."""
+
+    label: str
+    chaos: dict[str, Any] = field(default_factory=dict)
+    value: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ScaleAxis:
+    """One cluster scale; ``None`` fields inherit the spec defaults."""
+
+    label: str
+    n_servers: Optional[int] = None
+    n_requests: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One expanded grid point: axis labels + the runnable config."""
+
+    mode: str
+    workload: str
+    policy: str
+    load: float
+    fault: str
+    scale: str
+    fault_value: Optional[float]
+    config: SimulationConfig
+
+
+def _coerce(axis: str, entries: Sequence, factory: Callable, kind: type) -> tuple:
+    """Accept axis entries as dataclasses, tuples, or dicts."""
+    out = []
+    for entry in entries:
+        if isinstance(entry, kind):
+            out.append(entry)
+        elif isinstance(entry, dict):
+            try:
+                out.append(factory(**entry))
+            except TypeError as err:
+                raise ScenarioError(axis, str(err)) from None
+        elif isinstance(entry, (tuple, list)):
+            try:
+                out.append(factory(*entry))
+            except TypeError as err:
+                raise ScenarioError(axis, str(err)) from None
+        else:
+            raise ScenarioError(
+                axis, f"cannot build {kind.__name__} from {entry!r}"
+            )
+    return tuple(out)
+
+
+def _check_keys(axis: str, entry: str, kind: str, params: dict, allowed) -> None:
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ScenarioError(
+            axis,
+            f"unknown {kind} key(s): {sorted(unknown)} "
+            f"(allowed: {sorted(allowed)})",
+            entry=entry,
+        )
+
+
+def _unique_labels(axis: str, labels: Sequence[str]) -> None:
+    seen: set[str] = set()
+    for label in labels:
+        if label in seen:
+            raise ScenarioError(axis, f"duplicate label {label!r}")
+        seen.add(label)
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative experiment grid.
+
+    Cells expand in fixed nesting order — mode, workload, policy, load,
+    fault, scale (outer to inner) — so reports group naturally and the
+    legacy campaigns reproduce their historical result ordering.
+
+    ``label_format`` builds each cell's config label (and hence its
+    archive/cache identity) from the placeholders ``{scenario}``,
+    ``{workload}``, ``{policy}``, ``{load}``, ``{mode}``, ``{fault}``,
+    ``{scale}``, ``{n_servers}``, ``{n_requests}``, and ``{seed}``;
+    surplus whitespace from empty labels is collapsed. Two cells that
+    expand to identical configs (same label *and* same knobs) are
+    rejected — every cell must be separately cache-addressable.
+    """
+
+    name: str = "scenario"
+    policies: tuple[PolicyAxis, ...] = (PolicyAxis("random", "random"),)
+    workloads: tuple[WorkloadAxis, ...] = (WorkloadAxis("poisson_exp", "poisson_exp"),)
+    loads: tuple[float, ...] = (0.9,)
+    modes: tuple[ModeAxis, ...] = (ModeAxis(""),)
+    faults: tuple[FaultAxis, ...] = (FaultAxis(""),)
+    scales: tuple[ScaleAxis, ...] = (ScaleAxis(""),)
+    n_servers: int = 16
+    n_requests: int = 4_000
+    seed: int = 0
+    engine: str = "heap"
+    cluster_params: dict[str, Any] = field(default_factory=dict)
+    config_overrides: dict[str, Any] = field(default_factory=dict)
+    label_format: str = "{scenario} {workload} {policy} L={load:g} {mode} {fault} {scale}"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "policies", _coerce("policies", self.policies, PolicyAxis, PolicyAxis)
+        )
+        object.__setattr__(
+            self,
+            "workloads",
+            _coerce("workloads", self.workloads, WorkloadAxis, WorkloadAxis),
+        )
+        object.__setattr__(self, "modes", _coerce("modes", self.modes, ModeAxis, ModeAxis))
+        object.__setattr__(
+            self, "faults", _coerce("faults", self.faults, FaultAxis, FaultAxis)
+        )
+        object.__setattr__(
+            self, "scales", _coerce("scales", self.scales, ScaleAxis, ScaleAxis)
+        )
+        object.__setattr__(self, "loads", tuple(float(v) for v in self.loads))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` (naming the axis) on any problem."""
+        from repro.core.registry import available_policies, make_policy
+        from repro.workload.workloads import available_workloads, make_workload
+
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError("name", f"must be a non-empty string, got {self.name!r}")
+        if self.engine not in _ENGINES:
+            raise ScenarioError(
+                "engine", f"must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        for axis, entries in (
+            ("policies", self.policies),
+            ("workloads", self.workloads),
+            ("loads", self.loads),
+            ("modes", self.modes),
+            ("faults", self.faults),
+            ("scales", self.scales),
+        ):
+            if not entries:
+                raise ScenarioError(axis, "must not be empty")
+        _unique_labels("policies", [p.label for p in self.policies])
+        _unique_labels("workloads", [w.label for w in self.workloads])
+        _unique_labels("modes", [m.label for m in self.modes])
+        _unique_labels("faults", [f.label for f in self.faults])
+        _unique_labels("scales", [s.label for s in self.scales])
+        if len(set(self.loads)) != len(self.loads):
+            raise ScenarioError("loads", f"duplicate load in {list(self.loads)}")
+        for load in self.loads:
+            if not load > 0:
+                raise ScenarioError("loads", f"load must be > 0, got {load}")
+
+        known_policies = set(available_policies())
+        for p in self.policies:
+            if p.policy not in known_policies:
+                raise ScenarioError(
+                    "policies",
+                    f"unknown policy {p.policy!r} "
+                    f"(available: {sorted(known_policies)})",
+                    entry=p.label,
+                )
+            try:
+                make_policy(p.policy, **p.params)
+            except TypeError as err:
+                raise ScenarioError(
+                    "policies", f"bad params for {p.policy!r}: {err}", entry=p.label
+                ) from None
+        known_workloads = set(available_workloads())
+        for w in self.workloads:
+            if w.workload not in known_workloads:
+                raise ScenarioError(
+                    "workloads",
+                    f"unknown workload {w.workload!r} "
+                    f"(available: {sorted(known_workloads)})",
+                    entry=w.label,
+                )
+            try:
+                make_workload(w.workload, **w.params)
+            except TypeError as err:
+                raise ScenarioError(
+                    "workloads", f"bad params for {w.workload!r}: {err}", entry=w.label
+                ) from None
+            except (OSError, ValueError) as err:
+                raise ScenarioError(
+                    "workloads", f"cannot build {w.workload!r}: {err}", entry=w.label
+                ) from None
+
+        for m in self.modes:
+            _check_keys("modes", m.label, "reliability", m.reliability, _RELIABILITY_PARAM_KEYS)
+            _check_keys("modes", m.label, "overload", m.overload, _OVERLOAD_PARAM_KEYS)
+            _check_keys("modes", m.label, "telemetry", m.telemetry, _TELEMETRY_PARAM_KEYS)
+        for f in self.faults:
+            _check_keys("faults", f.label, "chaos", f.chaos, _CHAOS_PARAM_KEYS)
+        _check_keys("cluster_params", "", "cluster", self.cluster_params, _CLUSTER_PARAM_KEYS)
+        _check_keys(
+            "config_overrides", "", "override", self.config_overrides, _OVERRIDE_FIELDS
+        )
+
+        for s in self.scales:
+            n_servers = s.n_servers if s.n_servers is not None else self.n_servers
+            n_requests = s.n_requests if s.n_requests is not None else self.n_requests
+            if n_servers < 1:
+                raise ScenarioError(
+                    "scales", f"n_servers must be >= 1, got {n_servers}", entry=s.label
+                )
+            if n_requests < 10:
+                raise ScenarioError(
+                    "scales", f"n_requests must be >= 10, got {n_requests}", entry=s.label
+                )
+
+        if self.engine == "fast":
+            self._validate_fast()
+
+    def _validate_fast(self) -> None:
+        """The fast engine rejects most subsystems — name the axis now
+        rather than letting workers raise FastpathUnsupportedError."""
+        from repro.sim.fastpath import FASTPATH_POLICIES
+
+        for p in self.policies:
+            if p.policy not in FASTPATH_POLICIES:
+                raise ScenarioError(
+                    "policies",
+                    f"engine 'fast' supports only {sorted(FASTPATH_POLICIES)}; "
+                    f"got {p.policy!r}",
+                    entry=p.label,
+                )
+        for m in self.modes:
+            for kind, params in (
+                ("reliability", m.reliability),
+                ("overload", m.overload),
+                ("telemetry", m.telemetry),
+            ):
+                if params:
+                    raise ScenarioError(
+                        "modes",
+                        f"engine 'fast' cannot run the {kind} subsystem; "
+                        "use an exact engine (heap/calendar)",
+                        entry=m.label,
+                    )
+        for f in self.faults:
+            if f.chaos:
+                raise ScenarioError(
+                    "faults",
+                    "engine 'fast' cannot inject faults; "
+                    "use an exact engine (heap/calendar)",
+                    entry=f.label,
+                )
+        unsupported = set(self.cluster_params) - {"record_server_queues"}
+        if unsupported:
+            raise ScenarioError(
+                "cluster_params",
+                f"engine 'fast' does not support {sorted(unsupported)}",
+            )
+        if self.config_overrides.get("model", "simulation") != "simulation":
+            raise ScenarioError(
+                "config_overrides", "engine 'fast' requires model='simulation'"
+            )
+
+    # ------------------------------------------------------------------
+    # expansion
+    # ------------------------------------------------------------------
+    def _label(self, **fields: Any) -> str:
+        try:
+            raw = self.label_format.format(scenario=self.name, **fields)
+        except (KeyError, IndexError, ValueError) as err:
+            raise ScenarioError(
+                "label_format", f"bad format {self.label_format!r}: {err}"
+            ) from None
+        return " ".join(raw.split())
+
+    def expand(self) -> list[ScenarioCell]:
+        """Validate, then produce every cell in deterministic order."""
+        self.validate()
+        cells: list[ScenarioCell] = []
+        seen: dict[str, str] = {}
+        for mode in self.modes:
+            for wl in self.workloads:
+                for policy in self.policies:
+                    for load in self.loads:
+                        for fault in self.faults:
+                            for scale in self.scales:
+                                cells.append(
+                                    self._cell(mode, wl, policy, load, fault, scale)
+                                )
+                                config = cells[-1].config
+                                key = json.dumps(
+                                    asdict(config), sort_keys=True, default=list
+                                )
+                                if key in seen:
+                                    raise ScenarioError(
+                                        "label_format",
+                                        f"cells {seen[key]!r} and "
+                                        f"{config.label!r} expand to identical "
+                                        "configs; include the distinguishing "
+                                        "axis placeholder in label_format or "
+                                        "drop the duplicate axis entry",
+                                    )
+                                seen[key] = config.label
+        return cells
+
+    def _cell(
+        self,
+        mode: ModeAxis,
+        wl: WorkloadAxis,
+        policy: PolicyAxis,
+        load: float,
+        fault: FaultAxis,
+        scale: ScaleAxis,
+    ) -> ScenarioCell:
+        n_servers = scale.n_servers if scale.n_servers is not None else self.n_servers
+        n_requests = scale.n_requests if scale.n_requests is not None else self.n_requests
+        label = self._label(
+            workload=wl.label,
+            policy=policy.label,
+            load=load,
+            mode=mode.label,
+            fault=fault.label,
+            scale=scale.label,
+            n_servers=n_servers,
+            n_requests=n_requests,
+            seed=self.seed,
+        )
+        try:
+            config = SimulationConfig(
+                policy=policy.policy,
+                policy_params=dict(policy.params),
+                workload=wl.workload,
+                workload_params=dict(wl.params),
+                load=float(load),
+                n_servers=n_servers,
+                n_requests=n_requests,
+                seed=self.seed,
+                engine=self.engine,
+                cluster_params=dict(self.cluster_params),
+                chaos_params=dict(fault.chaos),
+                reliability_params=dict(mode.reliability),
+                overload_params=dict(mode.overload),
+                telemetry=dict(mode.telemetry),
+                label=label,
+                **self.config_overrides,
+            )
+        except (TypeError, ValueError) as err:
+            raise ScenarioError("spec", f"cell {label!r}: {err}") from None
+        return ScenarioCell(
+            mode=mode.label,
+            workload=wl.label,
+            policy=policy.label,
+            load=float(load),
+            fault=fault.label,
+            scale=scale.label,
+            fault_value=fault.value,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        cache=None,
+        engine: Optional[str] = None,
+        archive: Optional[str] = None,
+    ) -> "ScenarioReport":
+        """Expand and execute the grid; return the unified report.
+
+        ``engine`` overrides the spec's engine for this run (the CLI's
+        ``--engine`` knob); ``archive`` saves every result in the
+        standard archive format.
+        """
+        cells = self.expand()
+        results = run_cells(
+            cells, parallel=parallel, max_workers=max_workers, cache=cache, engine=engine
+        )
+        if archive is not None:
+            save_results(results, archive)
+        return ScenarioReport(spec=self, cells=cells, results=list(results))
+
+
+def run_cells(
+    cells: Sequence[ScenarioCell],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
+) -> list[SimulationResult]:
+    """Execute expanded cells through the standard sweep machinery.
+
+    This is the single executor path every campaign shares: a warm
+    :class:`SweepExecutor` pool when ``parallel`` (cache consulted,
+    results in cell order), a serial :func:`parallel_sweep` otherwise —
+    bit-identical either way.
+    """
+    configs = [cell.config for cell in cells]
+    if parallel:
+        with SweepExecutor(max_workers=max_workers, cache=cache, engine=engine) as pool:
+            return pool.sweep(configs)
+    return parallel_sweep(configs, parallel=False, cache=cache, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+
+#: axis-label columns, in display order (degenerate unlabeled axes are
+#: dropped from the table)
+_AXIS_COLUMNS = ("mode", "workload", "policy", "load", "fault", "scale")
+
+_METRIC_COLUMNS = (
+    "mean_ms",
+    "p95_ms",
+    "goodput_pct",
+    "timeouts",
+    "retries",
+    "lost",
+    "rejected",
+    "shed",
+)
+
+
+@dataclass
+class ScenarioReport:
+    """The unified campaign output: one row per cell."""
+
+    spec: ScenarioSpec
+    cells: list[ScenarioCell]
+    results: list[SimulationResult]
+
+    def __post_init__(self) -> None:
+        if len(self.cells) != len(self.results):
+            raise ValueError(
+                f"{len(self.cells)} cells but {len(self.results)} results"
+            )
+        self.table = self._build_table()
+
+    def _axis_columns(self) -> list[str]:
+        columns = []
+        for name in _AXIS_COLUMNS:
+            if name == "load":
+                if len(self.spec.loads) > 1 or "{load" in self.spec.label_format:
+                    columns.append(name)
+                continue
+            values = {getattr(cell, name) for cell in self.cells}
+            if values != {""}:
+                columns.append(name)
+        return columns
+
+    def _build_table(self) -> ResultTable:
+        axis_columns = self._axis_columns()
+        table = ResultTable(axis_columns + list(_METRIC_COLUMNS))
+        for cell, result in zip(self.cells, self.results):
+            counters = result.chaos_counters
+            offered = result.config.n_requests
+            row = {name: getattr(cell, name) for name in axis_columns}
+            row.update(
+                mean_ms=result.mean_response_time_ms,
+                p95_ms=result.p95_response_time * 1e3,
+                goodput_pct=100.0 * (offered - result.n_failed) / offered,
+                timeouts=int(counters.get("request_timeouts_fired", 0)),
+                retries=int(counters.get("total_retries", 0)),
+                lost=int(counters.get("requests_lost", 0)),
+                rejected=int(counters.get("requests_rejected", 0)),
+                shed=int(counters.get("requests_shed", 0)),
+            )
+            table.add(**row)
+        return table
+
+    def mode_comparison(self) -> list[str]:
+        """Per-cell deltas of every mode against the spec's first mode.
+
+        Empty when the spec has a single mode (nothing to compare).
+        """
+        if len(self.spec.modes) < 2:
+            return []
+        baseline_mode = self.spec.modes[0].label
+        by_mode: dict[str, dict[tuple, dict]] = {}
+        for cell, row in zip(self.cells, self.table.rows):
+            key = (cell.workload, cell.policy, cell.load, cell.fault, cell.scale)
+            by_mode.setdefault(cell.mode, {})[key] = row
+        baseline = by_mode.get(baseline_mode)
+        if not baseline:
+            return []
+        lines = []
+        for mode_label, cells in by_mode.items():
+            if mode_label == baseline_mode:
+                continue
+            for key, row in cells.items():
+                base = baseline.get(key)
+                if base is None:
+                    continue
+                where = " ".join(str(part) for part in key if part != "")
+                lines.append(
+                    f"{mode_label} vs {baseline_mode} | {where}: "
+                    f"p95 {base['p95_ms']:.1f} -> {row['p95_ms']:.1f} ms, "
+                    f"goodput {base['goodput_pct']:.1f}% -> {row['goodput_pct']:.1f}%"
+                )
+        return lines
+
+    def render(self) -> str:
+        out = (
+            f"== Scenario '{self.spec.name}': {len(self.cells)} cells ==\n"
+            + self.table.render()
+        )
+        comparison = self.mode_comparison()
+        if comparison:
+            out += f"\n\n== Modes vs '{self.spec.modes[0].label}' ==\n"
+            out += "\n".join(comparison)
+        return out
+
+
+# ----------------------------------------------------------------------
+# declarative construction: dicts, files, builtins
+# ----------------------------------------------------------------------
+
+_SPEC_KEYS = frozenset(
+    {
+        "name",
+        "policies",
+        "workloads",
+        "loads",
+        "modes",
+        "faults",
+        "scales",
+        "n_servers",
+        "n_requests",
+        "seed",
+        "engine",
+        "cluster_params",
+        "config_overrides",
+        "label_format",
+    }
+)
+
+
+def _fault_from_entry(entry: Any, n_servers: int) -> FaultAxis:
+    """A fault entry: explicit chaos knobs, or a scalar ``intensity``
+    routed through the chaos campaign's canonical scaling."""
+    if isinstance(entry, FaultAxis):
+        return entry
+    if isinstance(entry, dict) and "intensity" in entry:
+        from repro.experiments.chaos import chaos_params_for
+
+        extra = set(entry) - {"intensity", "label"}
+        if extra:
+            raise ScenarioError(
+                "faults",
+                f"intensity shorthand takes only 'label', got {sorted(extra)}",
+                entry=str(entry.get("label", "")),
+            )
+        intensity = float(entry["intensity"])
+        return FaultAxis(
+            label=entry.get("label", f"I={intensity:g}"),
+            chaos=chaos_params_for(intensity, n_servers),
+            value=intensity,
+        )
+    return entry  # _coerce in __post_init__ handles dicts/tuples
+
+
+def spec_from_dict(data: dict[str, Any]) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from plain (JSON-native) data.
+
+    Unknown top-level keys are rejected so a typo'd axis name fails
+    loudly instead of silently running the default grid.
+    """
+    if not isinstance(data, dict):
+        raise ScenarioError("spec", f"expected a mapping, got {type(data).__name__}")
+    unknown = set(data) - _SPEC_KEYS
+    if unknown:
+        raise ScenarioError(
+            "spec",
+            f"unknown key(s): {sorted(unknown)} (allowed: {sorted(_SPEC_KEYS)})",
+        )
+    kwargs = dict(data)
+    if "faults" in kwargs:
+        n_servers = int(kwargs.get("n_servers", ScenarioSpec.n_servers))
+        kwargs["faults"] = tuple(
+            _fault_from_entry(entry, n_servers) for entry in kwargs["faults"]
+        )
+    try:
+        return ScenarioSpec(**kwargs)
+    except ScenarioError:
+        raise
+    except (TypeError, ValueError) as err:
+        raise ScenarioError("spec", str(err)) from None
+
+
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Read a spec file: ``.json``, or ``.yaml``/``.yml`` (YAML-lite).
+
+    The YAML-lite subset is indentation-based mappings and ``- `` item
+    lists with JSON-style inline values — see :func:`parse_yaml_lite`.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise ScenarioError("spec", f"cannot read {path}: {err}") from None
+    if path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ScenarioError("spec", f"{path}: invalid JSON: {err}") from None
+    elif path.suffix in (".yaml", ".yml"):
+        try:
+            data = parse_yaml_lite(text)
+        except ValueError as err:
+            raise ScenarioError("spec", f"{path}: {err}") from None
+    else:
+        raise ScenarioError(
+            "spec",
+            f"{path}: unsupported spec suffix {path.suffix!r} "
+            "(expected .json, .yaml, or .yml)",
+        )
+    return spec_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# YAML-lite: the tiny declarative subset spec files actually need
+# ----------------------------------------------------------------------
+
+def _yaml_scalar(token: str, line_no: int) -> Any:
+    token = token.strip()
+    if token.startswith(("{", "[", '"')):
+        try:
+            return json.loads(token)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"line {line_no}: invalid inline JSON {token!r}: {err}")
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "~", ""):
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def parse_yaml_lite(text: str) -> Any:
+    """Parse the YAML subset scenario files use (no dependency on a
+    YAML library, which the container does not ship).
+
+    Supported: nested mappings by indentation, ``- `` list items
+    (scalars or mappings), scalars (int/float/bool/null/bare strings),
+    and JSON inline values (``{...}``, ``[...]``, ``"..."``). Full-line
+    ``#`` comments are skipped. Tabs, anchors, multi-line strings, and
+    flow collections beyond inline JSON are not.
+    """
+    lines: list[tuple[int, int, str]] = []  # (line_no, indent, content)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ValueError(f"line {line_no}: tabs are not allowed in indentation")
+        lines.append((line_no, len(raw) - len(raw.lstrip()), stripped))
+    if not lines:
+        return {}
+    value, next_index = _parse_yaml_block(lines, 0, lines[0][1])
+    if next_index != len(lines):
+        line_no, _, content = lines[next_index]
+        raise ValueError(f"line {line_no}: unexpected dedent before {content!r}")
+    return value
+
+
+def _parse_yaml_block(lines, index, indent):
+    line_no, first_indent, content = lines[index]
+    if first_indent != indent:
+        raise ValueError(f"line {line_no}: inconsistent indentation")
+    if content.startswith("- "):
+        return _parse_yaml_list(lines, index, indent)
+    return _parse_yaml_mapping(lines, index, indent)
+
+
+def _parse_yaml_list(lines, index, indent):
+    items = []
+    while index < len(lines):
+        line_no, line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent or not content.startswith("- "):
+            raise ValueError(f"line {line_no}: expected a '- ' list item")
+        rest = content[2:].strip()
+        # "- key: value" opens an inline mapping item whose further keys
+        # sit on the following lines, indented past the dash.
+        key, sep, _ = rest.partition(": ")
+        if (sep or rest.endswith(":")) and not rest.startswith(("{", "[", '"')):
+            virtual = [(line_no, indent + 2, rest)]
+            index += 1
+            while index < len(lines) and lines[index][1] >= indent + 2:
+                virtual.append(lines[index])
+                index += 1
+            item, consumed = _parse_yaml_mapping(virtual, 0, indent + 2)
+            if consumed != len(virtual):
+                bad = virtual[consumed]
+                raise ValueError(
+                    f"line {bad[0]}: unexpected indentation in list item"
+                )
+            items.append(item)
+        else:
+            items.append(_yaml_scalar(rest, line_no))
+            index += 1
+    return items, index
+
+
+def _parse_yaml_mapping(lines, index, indent):
+    mapping: dict[str, Any] = {}
+    while index < len(lines):
+        line_no, line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise ValueError(f"line {line_no}: unexpected indentation")
+        if content.startswith("- "):
+            raise ValueError(f"line {line_no}: list item inside a mapping")
+        key, sep, value = content.partition(":")
+        if not sep or not key.strip():
+            raise ValueError(f"line {line_no}: expected 'key: value', got {content!r}")
+        key = key.strip()
+        if key in mapping:
+            raise ValueError(f"line {line_no}: duplicate key {key!r}")
+        value = value.strip()
+        if value:
+            mapping[key] = _yaml_scalar(value, line_no)
+            index += 1
+        else:
+            index += 1
+            if index < len(lines) and lines[index][1] > indent:
+                mapping[key], index = _parse_yaml_block(lines, index, lines[index][1])
+            else:
+                mapping[key] = None
+    return mapping, index
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios
+# ----------------------------------------------------------------------
+
+def composed_spec(
+    n_requests: int = 4_000, seed: int = 0, quick: bool = False
+) -> ScenarioSpec:
+    """The ROADMAP one-liner: paper policies + chaos + overload-hardened
+    reliability, at three cluster scales, with a trace-replay workload.
+
+    ``quick`` trims the grid (two policies, two scales) for the <60s
+    ``make scenario-smoke`` path while keeping at least one cell on
+    every axis — including one replay cell.
+    """
+    from repro.experiments.chaos import (
+        chaos_cluster_params,
+        chaos_params_for,
+        hardened_reliability_params,
+    )
+    from repro.experiments.overload import overload_control_params
+
+    policies = (
+        PolicyAxis("random", "random"),
+        PolicyAxis("polling-3", "polling", {"poll_size": 3, "discard_slow": True}),
+        PolicyAxis("broadcast-50ms", "broadcast", {"mean_interval": 0.05}),
+    )
+    scales = (
+        ScaleAxis("8s", 8, max(200, n_requests // 2)),
+        ScaleAxis("16s", 16, n_requests),
+        ScaleAxis("32s", 32, 2 * n_requests),
+    )
+    if quick:
+        policies = policies[:2]
+        scales = scales[:2]
+    return ScenarioSpec(
+        name="composed",
+        policies=policies,
+        workloads=(
+            WorkloadAxis("poisson", "poisson_exp"),
+            WorkloadAxis("replay-bursty", "replay_bursty", {"burst_ratio": 10.0}),
+        ),
+        loads=(0.7,),
+        modes=(
+            ModeAxis("naive"),
+            ModeAxis(
+                "hardened",
+                reliability=hardened_reliability_params(),
+                overload=overload_control_params(),
+            ),
+        ),
+        faults=(
+            FaultAxis("I=0", {"loss": 0.0}, value=0.0),
+            FaultAxis("I=1", chaos_params_for(1.0, 16), value=1.0),
+        ),
+        scales=scales,
+        n_servers=16,
+        n_requests=n_requests,
+        seed=seed,
+        cluster_params=chaos_cluster_params(),
+        label_format="composed {workload} {policy} {mode} {fault} {scale}",
+    )
+
+
+#: named builtin specs accepted by ``repro scenario --spec <name>``
+BUILTIN_SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
+    "composed": composed_spec,
+}

@@ -37,6 +37,15 @@ from repro.workload.empirical import (
     EmpiricalDistribution,
     empirical_workload_from_trace,
 )
+from repro.workload.replay import (
+    bursty_trace,
+    diurnal_trace,
+    file_trace,
+    load_arrivals,
+    replay_file_params,
+    save_arrivals,
+    trace_digest,
+)
 from repro.workload.traces import Trace, TraceStats, load_trace, save_trace
 from repro.workload.synthesis import (
     FINE_GRAIN_SPEC,
@@ -78,8 +87,15 @@ __all__ = [
     "Weibull",
     "Workload",
     "available_workloads",
+    "bursty_trace",
+    "diurnal_trace",
     "extract_peak_portion",
+    "file_trace",
+    "load_arrivals",
+    "replay_file_params",
+    "save_arrivals",
     "synthesize_weekly_trace",
+    "trace_digest",
     "load_trace",
     "lognormal_from_moments",
     "make_workload",

@@ -1,0 +1,392 @@
+"""Trace replay: timestamped arrival traces as first-class workloads.
+
+The campaign grids so far drive clusters with synthetic stationary
+processes (Poisson, renewal, MMPP). "Dispatching Odyssey" (PAPERS.md)
+shows that exactly this family misses the structure of real cluster
+workloads: diurnal rate swings and short intense bursts change which
+policies degrade first. This module closes that gap three ways:
+
+- **generators** — :func:`diurnal_trace` (non-homogeneous Poisson with
+  a sinusoidal rate profile, sampled exactly by thinning) and
+  :func:`bursty_trace` (periodic on/off bursts: a short high-rate phase
+  each cycle over a low-rate background), both seeded from the named
+  RNG substream the runner hands every workload, so traces are
+  deterministic per (seed, params) cell;
+- **a loader/exporter pair** — timestamped arrival records as CSV
+  (``timestamp,service`` columns) or JSONL (one object per line), with
+  byte-exact round-trips: the absolute timestamps parsed from a file
+  are kept in ``Trace.metadata["timestamps"]`` so re-export reproduces
+  the input exactly instead of re-deriving instants from float gap
+  sums;
+- **cache-key awareness** — :func:`replay_file_params` stamps a content
+  digest into the ``workload_params`` of a ``replay_file`` cell, so the
+  persistent result cache misses (instead of serving stale results)
+  when the trace file's *content* changes under an unchanged path.
+
+Like every workload, replay traces are rescaled by the runner to the
+requested per-server load (the paper's demand-level knob): the *shape*
+— burst positions, relative gap structure — is what replay preserves.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.workload.distributions import (
+    Deterministic,
+    Distribution,
+    lognormal_from_moments,
+)
+from repro.workload.traces import Trace
+
+__all__ = [
+    "bursty_trace",
+    "diurnal_trace",
+    "load_arrivals",
+    "load_arrivals_csv",
+    "load_arrivals_jsonl",
+    "replay_file_params",
+    "save_arrivals",
+    "save_arrivals_csv",
+    "save_arrivals_jsonl",
+    "file_trace",
+    "trace_digest",
+]
+
+#: CSV header / JSONL field names for arrival records
+_FIELDS = ("timestamp", "service")
+
+
+def _service_distribution(mean_service: float, service_cv: float) -> Distribution:
+    if mean_service <= 0:
+        raise ValueError(f"mean_service must be > 0, got {mean_service}")
+    if service_cv < 0:
+        raise ValueError(f"service_cv must be >= 0, got {service_cv}")
+    if service_cv == 0:
+        return Deterministic(mean_service)
+    return lognormal_from_moments(mean_service, service_cv * mean_service)
+
+
+def _gaps_from_times(times: np.ndarray) -> np.ndarray:
+    gaps = np.empty_like(times)
+    gaps[0] = times[0]
+    np.subtract(times[1:], times[:-1], out=gaps[1:])
+    return gaps
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+
+def diurnal_trace(
+    rng: np.random.Generator,
+    n: int,
+    mean_service: float = 50e-3,
+    service_cv: float = 1.0,
+    period: float = 240.0,
+    peak_to_trough: float = 6.0,
+    mean_interval: Optional[float] = None,
+) -> Trace:
+    """A diurnal arrival trace: Poisson with a sinusoidal rate profile.
+
+    The rate is ``r0 * (1 + a*sin(2*pi*t/period))`` with the modulation
+    depth ``a`` chosen so that peak/trough rates differ by
+    ``peak_to_trough``; arrivals are sampled *exactly* (thinning against
+    the peak rate), not from a piecewise-constant approximation.
+    ``period`` is a compressed "day" (the runner rescales the absolute
+    rate anyway, so only the ratio of period to service time matters).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    if peak_to_trough <= 1.0:
+        raise ValueError(f"peak_to_trough must be > 1, got {peak_to_trough}")
+    base_interval = mean_interval if mean_interval is not None else mean_service
+    if base_interval <= 0:
+        raise ValueError(f"mean_interval must be > 0, got {base_interval}")
+    r0 = 1.0 / base_interval
+    depth = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    rate_max = r0 * (1.0 + depth)
+    omega = 2.0 * math.pi / period
+
+    times = np.empty(n, dtype=np.float64)
+    filled = 0
+    t = 0.0
+    while filled < n:
+        block = max(64, 2 * (n - filled))
+        candidates = t + np.cumsum(rng.exponential(1.0 / rate_max, block))
+        accept = rng.random(block) * rate_max <= r0 * (
+            1.0 + depth * np.sin(omega * candidates)
+        )
+        accepted = candidates[accept]
+        take = min(accepted.size, n - filled)
+        times[filled : filled + take] = accepted[:take]
+        filled += take
+        t = float(candidates[-1])
+
+    service = np.asarray(
+        _service_distribution(mean_service, service_cv).sample(rng, n),
+        dtype=np.float64,
+    )
+    return Trace(
+        name=f"Replay diurnal x{peak_to_trough:g}",
+        interarrival=_gaps_from_times(times),
+        service=service,
+        metadata={
+            "replay": "diurnal",
+            "period": float(period),
+            "peak_to_trough": float(peak_to_trough),
+        },
+    )
+
+
+def bursty_trace(
+    rng: np.random.Generator,
+    n: int,
+    mean_service: float = 50e-3,
+    service_cv: float = 1.0,
+    burst_ratio: float = 20.0,
+    burst_fraction: float = 0.1,
+    cycle: float = 2.0,
+    mean_interval: Optional[float] = None,
+) -> Trace:
+    """A bursty arrival trace: periodic on/off rate switching.
+
+    Each ``cycle`` seconds, a burst phase of length
+    ``burst_fraction * cycle`` runs at ``burst_ratio`` times the calm
+    rate; rates are normalized so the long-run mean interarrival is
+    ``mean_interval`` (default ``mean_service``). Unlike the MMPP
+    workload's exponential sojourns this is *periodic* burst structure
+    — the kind replayed cluster traces exhibit at request-batch and
+    cron-job timescales.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if burst_ratio <= 1.0:
+        raise ValueError(f"burst_ratio must be > 1, got {burst_ratio}")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError(f"burst_fraction must be in (0, 1), got {burst_fraction}")
+    if cycle <= 0:
+        raise ValueError(f"cycle must be > 0, got {cycle}")
+    base_interval = mean_interval if mean_interval is not None else mean_service
+    if base_interval <= 0:
+        raise ValueError(f"mean_interval must be > 0, got {base_interval}")
+    base_rate = 1.0 / base_interval
+    # mean rate = f*R*r_low + (1-f)*r_low == base_rate
+    r_low = base_rate / (burst_fraction * burst_ratio + 1.0 - burst_fraction)
+    r_high = burst_ratio * r_low
+
+    chunks: list[np.ndarray] = []
+    total = 0
+    start = 0.0
+    phases = ((burst_fraction * cycle, r_high), ((1.0 - burst_fraction) * cycle, r_low))
+    while total < n:
+        for duration, rate in phases:
+            # Draw a gap block with slack, keep arrivals inside the phase.
+            expected = rate * duration
+            block = max(16, int(expected * 1.5) + 8)
+            arrivals = start + np.cumsum(rng.exponential(1.0 / rate, block))
+            while arrivals[-1] < start + duration:  # pragma: no cover - rare
+                extra = start + np.cumsum(
+                    rng.exponential(1.0 / rate, block)
+                ) + (arrivals[-1] - start)
+                arrivals = np.concatenate([arrivals, extra])
+            kept = arrivals[arrivals < start + duration]
+            if kept.size:
+                chunks.append(kept)
+                total += kept.size
+            start += duration
+
+    times = np.concatenate(chunks)[:n]
+    service = np.asarray(
+        _service_distribution(mean_service, service_cv).sample(rng, n),
+        dtype=np.float64,
+    )
+    return Trace(
+        name=f"Replay bursty x{burst_ratio:g}",
+        interarrival=_gaps_from_times(times),
+        service=service,
+        metadata={
+            "replay": "bursty",
+            "burst_ratio": float(burst_ratio),
+            "burst_fraction": float(burst_fraction),
+            "cycle": float(cycle),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# file I/O: timestamped arrival records
+# ----------------------------------------------------------------------
+
+def _trace_from_records(
+    timestamps: list[float], services: list[float], source: str
+) -> Trace:
+    if not timestamps:
+        raise ValueError(f"{source}: no arrival records")
+    times = np.asarray(timestamps, dtype=np.float64)
+    if (np.diff(times) < 0).any():
+        raise ValueError(f"{source}: timestamps must be non-decreasing")
+    if times[0] < 0:
+        raise ValueError(f"{source}: negative first timestamp")
+    return Trace(
+        name=f"Replay {Path(source).name}",
+        interarrival=_gaps_from_times(times),
+        service=np.asarray(services, dtype=np.float64),
+        metadata={"source": str(source), "timestamps": times},
+    )
+
+
+def load_arrivals_csv(path: str | Path) -> Trace:
+    """Load a ``timestamp,service`` CSV into a :class:`Trace`.
+
+    The header row is required (it documents the unit contract: both
+    columns are seconds). Parsed absolute timestamps are retained in
+    ``metadata["timestamps"]`` so :func:`save_arrivals_csv` re-exports
+    the file byte-identically.
+    """
+    path = Path(path)
+    timestamps: list[float] = []
+    services: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _FIELDS:
+            raise ValueError(
+                f"{path}: expected header {','.join(_FIELDS)!r}, got {header!r}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 2:
+                raise ValueError(f"{path}:{line_no}: expected 2 columns, got {len(row)}")
+            timestamps.append(float(row[0]))
+            services.append(float(row[1]))
+    return _trace_from_records(timestamps, services, str(path))
+
+
+def load_arrivals_jsonl(path: str | Path) -> Trace:
+    """Load JSONL arrival records (``{"timestamp": .., "service": ..}``)."""
+    path = Path(path)
+    timestamps: list[float] = []
+    services: list[float] = []
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            missing = set(_FIELDS) - set(record)
+            if missing:
+                raise ValueError(
+                    f"{path}:{line_no}: missing field(s) {sorted(missing)}"
+                )
+            timestamps.append(float(record["timestamp"]))
+            services.append(float(record["service"]))
+    return _trace_from_records(timestamps, services, str(path))
+
+
+def load_arrivals(path: str | Path) -> Trace:
+    """Load a timestamped arrival trace, dispatching on file suffix."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return load_arrivals_csv(path)
+    if path.suffix in (".jsonl", ".ndjson"):
+        return load_arrivals_jsonl(path)
+    raise ValueError(
+        f"{path}: unsupported arrival-trace suffix {path.suffix!r} "
+        "(expected .csv, .jsonl, or .ndjson)"
+    )
+
+
+def _export_timestamps(trace: Trace) -> np.ndarray:
+    stored = trace.metadata.get("timestamps")
+    if stored is not None:
+        stored = np.asarray(stored, dtype=np.float64)
+        if stored.shape[0] == len(trace):
+            return stored
+    return trace.arrival_times
+
+
+def save_arrivals_csv(trace: Trace, path: str | Path) -> None:
+    """Export a trace as a ``timestamp,service`` CSV.
+
+    Floats are written in ``repr`` (shortest round-trip) form, so
+    ``load_arrivals_csv(save_arrivals_csv(t))`` reproduces every value
+    bit-for-bit.
+    """
+    path = Path(path)
+    times = _export_timestamps(trace)
+    lines = [",".join(_FIELDS)]
+    lines.extend(
+        f"{t!r},{s!r}" for t, s in zip(times.tolist(), trace.service.tolist())
+    )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def save_arrivals_jsonl(trace: Trace, path: str | Path) -> None:
+    """Export a trace as JSONL arrival records (repr-exact floats)."""
+    path = Path(path)
+    times = _export_timestamps(trace)
+    lines = [
+        json.dumps({"timestamp": t, "service": s})
+        for t, s in zip(times.tolist(), trace.service.tolist())
+    ]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def save_arrivals(trace: Trace, path: str | Path) -> None:
+    """Export a timestamped arrival trace, dispatching on file suffix."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        save_arrivals_csv(trace, path)
+    elif path.suffix in (".jsonl", ".ndjson"):
+        save_arrivals_jsonl(trace, path)
+    else:
+        raise ValueError(
+            f"{path}: unsupported arrival-trace suffix {path.suffix!r} "
+            "(expected .csv, .jsonl, or .ndjson)"
+        )
+
+
+# ----------------------------------------------------------------------
+# replay_file cache-key support
+# ----------------------------------------------------------------------
+
+def trace_digest(path: str | Path) -> str:
+    """Short content digest of a trace file (hex, 16 chars)."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:16]
+
+
+def replay_file_params(path: str | Path) -> dict[str, str]:
+    """``workload_params`` for a ``replay_file`` cell, content-addressed.
+
+    The digest participates in the simulation cache key (workload
+    params are hashed into it), so editing the trace file invalidates
+    cached results even though the path string is unchanged.
+    """
+    return {"path": str(path), "digest": trace_digest(path)}
+
+
+def file_trace(path: str | Path, digest: Optional[str] = None) -> Trace:
+    """Load a replay trace file, optionally pinning its content digest.
+
+    A mismatching ``digest`` means the file changed since the caller
+    captured :func:`replay_file_params` — fail loudly rather than
+    replaying a different workload under the old cache key.
+    """
+    if digest is not None:
+        actual = trace_digest(path)
+        if actual != digest:
+            raise ValueError(
+                f"{path}: content digest {actual} does not match the "
+                f"pinned digest {digest} (trace file changed on disk; "
+                "re-run replay_file_params to re-pin it)"
+            )
+    return load_arrivals(path)

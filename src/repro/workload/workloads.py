@@ -22,6 +22,7 @@ from repro.workload.distributions import (
     pareto_from_moments,
     weibull_from_moments,
 )
+from repro.workload.replay import bursty_trace, diurnal_trace, file_trace
 from repro.workload.synthesis import (
     FINE_GRAIN_SPEC,
     MEDIUM_GRAIN_SPEC,
@@ -140,6 +141,31 @@ _REGISTRY: dict[str, Callable[..., Workload]] = {
         # runner) with a `burst_ratio` swing between calm and burst.
         arrivals=_mmpp(mean_service, burst_ratio, sojourn),
         service=Exponential(mean_service),
+    ),
+    # Trace replay (repro.workload.replay): timestamped arrival traces
+    # with diurnal/bursty structure, or loaded from CSV/JSONL files.
+    "replay_diurnal": lambda mean_service=POISSON_EXP_MEAN_SERVICE, service_cv=1.0, period=240.0, peak_to_trough=6.0: Workload(
+        f"Replay diurnal x{peak_to_trough:g}",
+        trace_builder=lambda rng, n: diurnal_trace(
+            rng, n, mean_service=mean_service, service_cv=service_cv,
+            period=period, peak_to_trough=peak_to_trough,
+        ),
+    ),
+    "replay_bursty": lambda mean_service=POISSON_EXP_MEAN_SERVICE, service_cv=1.0, burst_ratio=20.0, burst_fraction=0.1, cycle=2.0: Workload(
+        f"Replay bursty x{burst_ratio:g}",
+        trace_builder=lambda rng, n: bursty_trace(
+            rng, n, mean_service=mean_service, service_cv=service_cv,
+            burst_ratio=burst_ratio, burst_fraction=burst_fraction, cycle=cycle,
+        ),
+    ),
+    # The trace file is replayed as-is (tiled, unshuffled, when the run
+    # needs more requests than the file holds); pass the digest from
+    # replay_file_params so cached results are content-addressed.
+    "replay_file": lambda path, digest=None: Workload(
+        f"Replay {path}",
+        trace_builder=lambda rng, n, _path=path, _digest=digest: file_trace(
+            _path, digest=_digest
+        ).tiled(n),
     ),
 }
 

@@ -81,6 +81,33 @@ def test_hardened_reliability_config_bit_identical():
         assert _values_equal(getattr(heap, name), getattr(calendar, name)), name
 
 
+@pytest.mark.parametrize("policy", ["jiq", "least_connections"])
+def test_registry_extension_policies_bit_identical(policy):
+    """Cluster-level engine parity for the two registry policies the
+    ROADMAP under-reported (ISSUE 7 satellite): jiq's idle-queue
+    signalling and least-connections' in-flight counts must be
+    engine-invariant at fixed seed, like every paper policy."""
+    config = SimulationConfig(
+        policy=policy, load=0.9, n_servers=8, n_requests=2_000, seed=5,
+    )
+    heap = run_simulation(config.with_updates(engine="heap"))
+    calendar = run_simulation(config.with_updates(engine="calendar"))
+    for name in COMPARED_FIELDS:
+        assert _values_equal(getattr(heap, name), getattr(calendar, name)), name
+
+
+@pytest.mark.parametrize("policy", ["jiq", "least_connections"])
+def test_registry_extension_policies_beat_random_at_high_load(policy):
+    """Sanity bound: both load-aware extensions must clearly beat the
+    no-information baseline at 90% load (fixed seed, same arrivals)."""
+    base = SimulationConfig(load=0.9, n_servers=8, n_requests=2_000, seed=5)
+    informed = run_simulation(base.with_updates(policy=policy))
+    random_ = run_simulation(base.with_updates(policy="random"))
+    assert informed.n_failed == 0
+    assert informed.mean_response_time < 0.7 * random_.mean_response_time
+    assert informed.p95_response_time < random_.p95_response_time
+
+
 @pytest.mark.slow
 def test_fig_suite_parity():
     """The full miniature fig3/fig4 grid under both engines."""

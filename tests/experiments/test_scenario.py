@@ -1,0 +1,391 @@
+"""Scenario spec semantics: expansion, validation, files, reports."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import config_key
+from repro.experiments.chaos import (
+    NAIVE_VS_HARDENED,
+    chaos_scenario_spec,
+)
+from repro.experiments.overload import overload_scenario_spec
+from repro.experiments.scenario import (
+    FaultAxis,
+    ModeAxis,
+    PolicyAxis,
+    ScaleAxis,
+    ScenarioError,
+    ScenarioReport,
+    ScenarioSpec,
+    WorkloadAxis,
+    composed_spec,
+    load_spec,
+    parse_yaml_lite,
+    spec_from_dict,
+)
+
+
+# ----------------------------------------------------------------------
+# expansion
+# ----------------------------------------------------------------------
+
+def test_expand_nesting_order_mode_workload_policy_load_fault_scale():
+    spec = ScenarioSpec(
+        name="order",
+        policies=(PolicyAxis("p1", "random"), PolicyAxis("p2", "round_robin")),
+        loads=(0.5, 0.9),
+        modes=(ModeAxis("m1"), ModeAxis("m2")),
+        faults=(FaultAxis("f1"), FaultAxis("f2", {"loss": 0.1})),
+        scales=(ScaleAxis("s1", 4), ScaleAxis("s2", 8)),
+        n_requests=100,
+        label_format="{scenario} {policy} L={load:g} {mode} {fault} {scale}",
+    )
+    cells = spec.expand()
+    assert len(cells) == 2 * 2 * 2 * 2 * 2
+    # scale is innermost, mode outermost
+    assert [c.scale for c in cells[:2]] == ["s1", "s2"]
+    assert [c.fault for c in cells[:4]] == ["f1", "f1", "f2", "f2"]
+    assert all(c.mode == "m1" for c in cells[:16])
+    assert all(c.mode == "m2" for c in cells[16:])
+
+
+def test_cells_carry_runnable_configs_with_axis_knobs():
+    spec = ScenarioSpec(
+        name="knobs",
+        policies=(PolicyAxis("poll3", "polling", {"poll_size": 3}),),
+        workloads=(WorkloadAxis("det", "poisson_deterministic"),),
+        loads=(0.6,),
+        modes=(ModeAxis("hard", reliability={"hedge_quantile": 0.9},
+                        overload={"sojourn_target": 0.1},
+                        telemetry={"sample_interval": 0.1}),),
+        faults=(FaultAxis("f", {"loss": 0.05}),),
+        scales=(ScaleAxis("big", n_servers=32, n_requests=5_000),),
+        cluster_params={"request_timeout": 0.3},
+        config_overrides={"n_clients": 4},
+        seed=7,
+    )
+    (cell,) = spec.expand()
+    cfg = cell.config
+    assert cfg.policy == "polling" and cfg.policy_params == {"poll_size": 3}
+    assert cfg.workload == "poisson_deterministic"
+    assert cfg.load == 0.6 and cfg.seed == 7
+    assert cfg.n_servers == 32 and cfg.n_requests == 5_000
+    assert cfg.reliability_params == {"hedge_quantile": 0.9}
+    assert cfg.overload_params == {"sojourn_target": 0.1}
+    assert cfg.telemetry == {"sample_interval": 0.1}
+    assert cfg.chaos_params == {"loss": 0.05}
+    assert cfg.cluster_params == {"request_timeout": 0.3}
+    assert cfg.n_clients == 4
+
+
+def test_cells_get_fresh_dict_copies():
+    shared = {"loss": 0.1}
+    spec = ScenarioSpec(
+        faults=(FaultAxis("a", shared), FaultAxis("b", shared)),
+        n_requests=100,
+        label_format="{scenario} {fault}",
+    )
+    cells = spec.expand()
+    assert cells[0].config.chaos_params is not cells[1].config.chaos_params
+    assert cells[0].config.chaos_params is not shared
+
+
+def test_labels_collapse_empty_placeholders():
+    spec = ScenarioSpec(name="tidy", n_requests=100)
+    (cell,) = spec.expand()
+    # default format references mode/fault/scale whose labels are empty
+    assert "  " not in cell.config.label
+    assert cell.config.label == "tidy poisson_exp random L=0.9"
+
+
+def test_identical_configs_rejected_with_label_format_hint():
+    spec = ScenarioSpec(
+        modes=(ModeAxis("m1"), ModeAxis("m2")),  # same knobs, labels unused
+        n_requests=100,
+        label_format="{scenario} {policy}",
+    )
+    with pytest.raises(ScenarioError, match="label_format"):
+        spec.expand()
+
+
+def test_expansion_is_deterministic_and_cache_key_stable():
+    spec = composed_spec(n_requests=200, quick=True)
+    first = [config_key(c.config) for c in spec.expand()]
+    second = [config_key(c.config) for c in spec.expand()]
+    assert first == second
+    assert len(set(first)) == len(first)  # distinct cells never collide
+
+
+# ----------------------------------------------------------------------
+# validation names the offending axis
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs,axis,fragment",
+    [
+        (dict(policies=(PolicyAxis("x", "nope"),)), "policies", "unknown policy"),
+        (dict(policies=(PolicyAxis("x", "polling", {"bogus": 1}),)),
+         "policies", "bad params"),
+        (dict(workloads=(WorkloadAxis("w", "nope"),)), "workloads",
+         "unknown workload"),
+        (dict(modes=(ModeAxis("m", telemetry={"bogus": True}),)), "modes",
+         "telemetry"),
+        (dict(modes=(ModeAxis("m", reliability={"bogus": 1}),)), "modes",
+         "reliability"),
+        (dict(faults=(FaultAxis("f", {"bogus": 1}),)), "faults", "chaos"),
+        (dict(cluster_params={"bogus": 1}), "cluster_params", "cluster"),
+        (dict(config_overrides={"policy": "random"}), "config_overrides",
+         "override"),
+        (dict(loads=()), "loads", "empty"),
+        (dict(loads=(0.0,)), "loads", "> 0"),
+        (dict(loads=(0.5, 0.5)), "loads", "duplicate"),
+        (dict(policies=()), "policies", "empty"),
+        (dict(modes=(ModeAxis("m"), ModeAxis("m"))), "modes", "duplicate"),
+        (dict(engine="quantum"), "engine", "one of"),
+        (dict(scales=(ScaleAxis("s", n_servers=0),)), "scales", "n_servers"),
+        (dict(label_format="{bogus}"), "label_format", "bad format"),
+    ],
+)
+def test_validation_errors_name_the_axis(kwargs, axis, fragment):
+    with pytest.raises(ScenarioError, match=fragment) as err:
+        ScenarioSpec(n_requests=100, **kwargs).expand()
+    assert err.value.axis == axis
+    assert f"axis {axis!r}" in str(err.value)
+
+
+def test_fast_engine_rejects_subsystem_modes_naming_the_axis():
+    base = dict(engine="fast", n_requests=100)
+    with pytest.raises(ScenarioError) as err:
+        ScenarioSpec(faults=(FaultAxis("f", {"loss": 0.1}),), **base).expand()
+    assert err.value.axis == "faults"
+    with pytest.raises(ScenarioError) as err:
+        ScenarioSpec(
+            modes=(ModeAxis("m", reliability={"hedge_quantile": 0.9}),), **base
+        ).expand()
+    assert err.value.axis == "modes"
+    with pytest.raises(ScenarioError) as err:
+        ScenarioSpec(policies=(PolicyAxis("jiq", "jiq"),), **base).expand()
+    assert err.value.axis == "policies"
+    # a plain fast-compatible grid is fine
+    assert len(ScenarioSpec(n_requests=100, engine="fast").expand()) == 1
+
+
+# ----------------------------------------------------------------------
+# declarative construction
+# ----------------------------------------------------------------------
+
+def test_spec_from_dict_rejects_unknown_keys():
+    with pytest.raises(ScenarioError, match="unknown key"):
+        spec_from_dict({"name": "x", "polices": []})  # typo'd axis
+
+
+def test_spec_from_dict_intensity_shorthand_builds_chaos_knobs():
+    from repro.experiments.chaos import chaos_params_for
+
+    spec = spec_from_dict(
+        {"name": "f", "n_servers": 8, "n_requests": 100,
+         "faults": [{"intensity": 0.0}, {"intensity": 1.0}]}
+    )
+    assert spec.faults[0].chaos == {"loss": 0.0}
+    assert spec.faults[1].chaos == chaos_params_for(1.0, 8)
+    assert [f.label for f in spec.faults] == ["I=0", "I=1"]
+    assert spec.faults[1].value == 1.0
+
+
+def test_spec_from_dict_axis_entries_as_dicts():
+    spec = spec_from_dict(
+        {
+            "name": "d",
+            "n_requests": 100,
+            "policies": [
+                {"label": "rnd", "policy": "random"},
+                {"label": "p3", "policy": "polling",
+                 "params": {"poll_size": 3}},
+            ],
+            "loads": [0.5, 0.9],
+        }
+    )
+    assert len(spec.expand()) == 4
+
+
+def test_load_spec_json_and_yaml_agree(tmp_path):
+    data = {
+        "name": "file",
+        "n_requests": 120,
+        "loads": [0.5, 0.8],
+        "policies": [{"label": "rnd", "policy": "random"}],
+    }
+    json_path = tmp_path / "s.json"
+    json_path.write_text(json.dumps(data))
+    yaml_path = tmp_path / "s.yaml"
+    yaml_path.write_text(
+        "# scenario spec\n"
+        "name: file\n"
+        "n_requests: 120\n"
+        "loads:\n"
+        "  - 0.5\n"
+        "  - 0.8\n"
+        "policies:\n"
+        "  - label: rnd\n"
+        "    policy: random\n"
+    )
+    from_json = load_spec(json_path)
+    from_yaml = load_spec(yaml_path)
+    assert from_json == from_yaml
+    assert [c.config for c in from_json.expand()] == [
+        c.config for c in from_yaml.expand()
+    ]
+
+
+def test_load_spec_bad_suffix_and_missing_file(tmp_path):
+    with pytest.raises(ScenarioError, match="suffix"):
+        load_spec(tmp_path / "spec.toml")
+    with pytest.raises(ScenarioError, match="cannot read"):
+        load_spec(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# YAML-lite
+# ----------------------------------------------------------------------
+
+def test_yaml_lite_scalars_lists_nesting_and_inline_json():
+    data = parse_yaml_lite(
+        "name: demo\n"
+        "count: 3\n"
+        "ratio: 0.5\n"
+        "flag: true\n"
+        "nothing: null\n"
+        "inline: {\"a\": 1, \"b\": [2, 3]}\n"
+        "nested:\n"
+        "  inner: x\n"
+        "items:\n"
+        "  - 1\n"
+        "  - two\n"
+    )
+    assert data == {
+        "name": "demo",
+        "count": 3,
+        "ratio": 0.5,
+        "flag": True,
+        "nothing": None,
+        "inline": {"a": 1, "b": [2, 3]},
+        "nested": {"inner": "x"},
+        "items": [1, "two"],
+    }
+
+
+def test_yaml_lite_list_of_mappings():
+    data = parse_yaml_lite(
+        "policies:\n"
+        "  - label: a\n"
+        "    policy: random\n"
+        "  - label: b\n"
+        "    policy: polling\n"
+        "    params: {\"poll_size\": 2}\n"
+    )
+    assert data["policies"] == [
+        {"label": "a", "policy": "random"},
+        {"label": "b", "policy": "polling", "params": {"poll_size": 2}},
+    ]
+
+
+@pytest.mark.parametrize(
+    "text,fragment",
+    [
+        ("a:\n\tb: 1\n", "tabs"),
+        ("a: 1\na: 2\n", "duplicate key"),
+        ("a:\n  - 1\n   - 2\n", "list item"),
+        ("just a bare line\n", "key: value"),
+        ("a: {\"broken\": \n", "invalid inline JSON"),
+    ],
+)
+def test_yaml_lite_errors(text, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        parse_yaml_lite(text)
+
+
+# ----------------------------------------------------------------------
+# campaign specs mirror the legacy grids
+# ----------------------------------------------------------------------
+
+def test_chaos_spec_single_mode_labels_omit_the_mode():
+    cells = chaos_scenario_spec(n_requests=100).expand()
+    assert cells[0].config.label == "chaos random I=0"
+    assert all("naive" not in c.config.label for c in cells)
+
+
+def test_chaos_spec_multi_mode_labels_append_the_mode():
+    cells = chaos_scenario_spec(
+        n_requests=100, reliability_modes=NAIVE_VS_HARDENED
+    ).expand()
+    assert cells[0].config.label == "chaos random I=0 naive"
+    assert cells[-1].config.label.endswith("hardened")
+
+
+def test_overload_spec_labels_and_zero_fault_chaos():
+    cells = overload_scenario_spec(n_requests=100).expand()
+    assert cells[0].config.label == "overload random L=0.8x static"
+    assert all(c.config.chaos_params == {"loss": 0.0} for c in cells)
+
+
+def test_composed_spec_includes_replay_scales_and_modes():
+    spec = composed_spec(n_requests=400, quick=True)
+    assert any(w.workload == "replay_bursty" for w in spec.workloads)
+    assert len(spec.scales) >= 2 and len(spec.modes) == 2
+    cells = spec.expand()
+    assert len(cells) == 32
+    assert any("replay-bursty" in c.config.label for c in cells)
+
+
+# ----------------------------------------------------------------------
+# report assembly (no simulation: fabricate results)
+# ----------------------------------------------------------------------
+
+def _fake_result(config, mean=0.05, failed=0):
+    from repro.experiments.runner import SimulationResult
+
+    return SimulationResult(
+        config=config,
+        mean_response_time=mean,
+        p50_response_time=mean,
+        p90_response_time=mean * 1.5,
+        p99_response_time=mean * 3,
+        p95_response_time=mean * 2,
+        mean_poll_time=0.0,
+        n_measured=config.n_requests,
+        n_failed=failed,
+        nominal_rho=0.5,
+        wall_seconds=0.01,
+        events_executed=100,
+    )
+
+
+def test_report_drops_degenerate_axis_columns_and_compares_modes():
+    spec = ScenarioSpec(
+        name="r",
+        modes=(ModeAxis("naive"), ModeAxis("hard", reliability={"hedge_quantile": 0.9})),
+        n_requests=100,
+        label_format="{scenario} {policy} {mode}",
+    )
+    cells = spec.expand()
+    results = [
+        _fake_result(c.config, mean=0.05 if c.mode == "naive" else 0.03)
+        for c in cells
+    ]
+    report = ScenarioReport(spec=spec, cells=cells, results=results)
+    assert "mode" in report.table.columns
+    assert "fault" not in report.table.columns  # degenerate unlabeled axis
+    assert "scale" not in report.table.columns
+    assert "load" not in report.table.columns  # single load, not in label
+    rendered = report.render()
+    assert "2 cells" in rendered
+    lines = report.mode_comparison()
+    assert len(lines) == 1 and "hard vs naive" in lines[0]
+
+
+def test_report_rejects_mismatched_lengths():
+    spec = ScenarioSpec(n_requests=100)
+    cells = spec.expand()
+    with pytest.raises(ValueError, match="cells but"):
+        ScenarioReport(spec=spec, cells=cells, results=[])

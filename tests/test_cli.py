@@ -167,3 +167,72 @@ def test_trace_command_policy_params(capsys):
     out = capsys.readouterr().out
     assert "broadcast(mean_interval=0.05)" in out
     assert "broadcasts_sent" in out
+
+
+def test_scenario_parser_flags():
+    parser = build_parser()
+    args = parser.parse_args(["scenario", "--spec", "grid.yaml", "--validate"])
+    assert args.command == "scenario"
+    assert args.spec == "grid.yaml"
+    assert args.validate
+
+
+def test_scenario_validate_builtin(capsys):
+    assert main(["scenario", "--validate", "--quick", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario OK" in out and "32 cells" in out
+    assert "replay-bursty" in out  # the trace-replay axis is in the grid
+
+
+def test_scenario_validate_names_the_offending_axis(tmp_path, capsys):
+    spec = tmp_path / "bad.yaml"
+    spec.write_text(
+        "name: bad\n"
+        "policies:\n"
+        "  - label: x\n"
+        "    policy: no_such_policy\n"
+    )
+    with pytest.raises(SystemExit) as err:
+        main(["scenario", "--spec", str(spec), "--validate", "--no-cache"])
+    message = str(err.value)
+    assert "FAILED" in message
+    assert "axis 'policies'" in message and "no_such_policy" in message
+
+
+def test_scenario_runs_a_spec_file(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "tiny.json"
+    spec.write_text(json.dumps({
+        "name": "tiny",
+        "n_requests": 200,
+        "n_servers": 4,
+        "loads": [0.5, 0.8],
+        "policies": [{"label": "rnd", "policy": "random"}],
+    }))
+    archive = tmp_path / "results.json"
+    assert main(["scenario", "--spec", str(spec), "--serial", "--no-cache",
+                 "--export-dir", str(archive)]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario 'tiny': 2 cells" in out
+    assert "goodput_pct" in out
+    from repro.experiments import load_results
+
+    assert len(load_results(archive)) == 2
+
+
+def test_scenario_cache_round_trip(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    import json
+
+    spec = tmp_path / "tiny.json"
+    spec.write_text(json.dumps({
+        "name": "tiny", "n_requests": 200, "n_servers": 4,
+        "policies": [{"label": "rnd", "policy": "random"}],
+    }))
+    assert main(["scenario", "--spec", str(spec), "--serial"]) == 0
+    first = capsys.readouterr().out
+    assert "cache: 0 hits, 1 misses" in first
+    assert main(["scenario", "--spec", str(spec), "--serial"]) == 0
+    second = capsys.readouterr().out
+    assert "cache: 1 hits, 0 misses" in second
