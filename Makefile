@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke scenario-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke scenario-smoke serve-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -74,6 +74,17 @@ scenario-smoke:
 	$(PYTHON) -m repro scenario --quick --validate
 	$(PYTHON) -m repro scenario --quick --seed 0
 	$(PYTHON) -m repro scenario --quick --seed 0
+
+# Live loopback smoke (<60s): boots a standalone server node for a
+# couple of seconds, then runs the quick sim-vs-real poll-size ladder —
+# real asyncio UDP servers + client agents over loopback, spin-mode
+# service work, 240 requests per poll size. Wall-clock latencies are
+# machine-dependent so there is no latency assertion here: completing
+# every request is the gate, and the hard timeouts catch a hung event
+# loop (the ladder itself enforces zero unexpected failures).
+serve-smoke:
+	timeout -k 5 20 $(PYTHON) -m repro serve --port 0 --time-limit 2
+	timeout -k 10 55 $(PYTHON) -m repro drive --quick --seed 0
 
 examples:
 	$(PYTHON) examples/quickstart.py

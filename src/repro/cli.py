@@ -17,6 +17,8 @@ Usage::
     python -m repro scenario --quick
     python -m repro scenario --spec grid.yaml --validate
     python -m repro trace --policy broadcast --policy-param mean_interval=0.1
+    python -m repro drive --quick
+    python -m repro serve --port 9000 --time-limit 30
     python -m repro list
 
 Figures print the same series the paper plots; ``--requests`` trades
@@ -61,6 +63,7 @@ _QUICK_REQUESTS = {
     "fastparity": 2_000,
     "scale": 6_000,
     "bench-engines": 5_000,
+    "drive": 240,
 }
 
 
@@ -420,6 +423,120 @@ def _validate_bench(args) -> str:
     return "bench validation OK:\n" + "\n".join(lines)
 
 
+def _serve(args) -> str:
+    """Run one standalone live UDP server node until the time limit."""
+    import asyncio
+
+    from repro.live.clock import WallClock
+    from repro.live.server import LiveServer
+
+    async def _run() -> str:
+        loop = asyncio.get_running_loop()
+        server = LiveServer(
+            0,
+            WallClock(loop),
+            workers=args.workers,
+            mode=args.live_mode,
+        )
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: server, local_addr=("127.0.0.1", args.port)
+        )
+        try:
+            host, port = server.address
+            print(
+                f"repro serve: node 0 on {host}:{port} "
+                f"(mode={args.live_mode}, workers={args.workers}; "
+                f"stopping after --time-limit {args.time_limit:g}s or Ctrl-C)",
+                flush=True,
+            )
+            await asyncio.sleep(args.time_limit)
+        finally:
+            server.close()
+            transport.close()
+        counters = ", ".join(f"{k}={v}" for k, v in server.counters().items())
+        return f"serve: stopped after {args.time_limit:g}s ({counters})"
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return "serve: interrupted"
+
+
+def _drive(args) -> str:
+    """Live loopback poll-size ladder vs the calibrated simulation."""
+    from dataclasses import replace
+
+    from repro.live.harness import (
+        LiveRunConfig,
+        drive_comparison,
+        render_comparison_table,
+        run_loopback,
+    )
+
+    base = LiveRunConfig(
+        policy_params=_parse_policy_params(args.policy_param),
+        load=args.live_load,
+        n_servers=args.live_servers,
+        n_requests=args.requests or 960,
+        seed=args.seed,
+        mode=args.live_mode,
+        workers=args.workers,
+        sample_interval=args.sample_interval,
+        time_limit=args.time_limit,
+    )
+    try:
+        poll_sizes = tuple(
+            int(part) for part in args.poll_sizes.split(",") if part.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"--poll-sizes expects a CSV of ints: {args.poll_sizes!r}")
+    if not poll_sizes:
+        raise SystemExit("--poll-sizes must name at least one poll size")
+    comparison = drive_comparison(
+        base, poll_sizes=poll_sizes, compare_sim=not args.no_compare_sim
+    )
+    lines = [
+        f"== sim-vs-real poll-size ladder: {base.n_servers} loopback servers @ "
+        f"{base.load:.0%} per-server load, {base.n_requests} requests, "
+        f"mode={base.mode}, seed={base.seed} ==",
+        render_comparison_table(comparison),
+    ]
+    if args.export_dir or args.record_trace:
+        # One extra instrumented run at the largest poll size: the ladder
+        # itself stays uninstrumented so its timings are undisturbed.
+        instrumented = replace(
+            base,
+            policy="polling",
+            policy_params={**base.policy_params, "poll_size": max(poll_sizes)},
+            telemetry=bool(args.export_dir),
+        )
+        result = run_loopback(instrumented)
+        if args.export_dir:
+            from repro.experiments import save_telemetry, validate_telemetry_dir
+
+            paths = save_telemetry(result.telemetry_report, args.export_dir)
+            checked = validate_telemetry_dir(args.export_dir)
+            lines += [
+                "",
+                f"exported {checked['spans']} live spans, "
+                f"{checked['series']} samples x {checked['series_columns']} "
+                f"series -> {paths['spans'].parent} (schema validated)",
+            ]
+        if args.record_trace:
+            from repro.workload.replay import live_trace, save_arrivals
+
+            trace = live_trace(
+                result.arrival_epochs, result.service_times, source="repro-drive"
+            )
+            save_arrivals(trace, args.record_trace)
+            lines += [
+                "",
+                f"recorded {len(trace)} live arrivals (wall-clock epochs "
+                f"normalized to t=0) -> {args.record_trace}",
+            ]
+    return "\n".join(lines)
+
+
 _COMMANDS: dict[str, tuple[Callable, str]] = {
     "table1": (_table1, "Table 1: trace statistics"),
     "fig2": (_fig2, "Figure 2: load-index inaccuracy vs delay"),
@@ -440,6 +557,8 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "scale": (_scale, "large-N heap-vs-fast bench + mean-field check"),
     "bench-engines": (_bench_engines, "engine x size throughput trajectory"),
     "validate-bench": (_validate_bench, "schema-validate BENCH_*.json artifacts"),
+    "serve": (_serve, "standalone live UDP server node (loopback prototype)"),
+    "drive": (_drive, "live loopback poll-size ladder vs calibrated simulation"),
 }
 
 
@@ -502,6 +621,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check-against", default=None, metavar="BASELINE",
                         help="for `scale`: committed BENCH_scale.json baseline "
                              "to enforce the speedup-regression gate against")
+    parser.add_argument("--live-servers", type=int, default=4,
+                        help="for `drive`: loopback server count (default: 4)")
+    parser.add_argument("--live-load", type=float, default=0.15,
+                        help="for `drive`: per-server load; n_servers*load "
+                             "must stay <= 0.85 in spin mode since the whole "
+                             "loopback harness shares one CPU (default: 0.15)")
+    parser.add_argument("--live-mode", choices=["spin", "sleep"], default="spin",
+                        help="for `serve`/`drive`: service work burns real CPU "
+                             "(spin) or just waits (sleep) (default: spin)")
+    parser.add_argument("--poll-sizes", default="2,4,8", metavar="CSV",
+                        help="for `drive`: poll-size ladder (default: 2,4,8)")
+    parser.add_argument("--no-compare-sim", action="store_true",
+                        help="for `drive`: skip the calibrated simulation "
+                             "baseline columns")
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="for `serve`/`drive`: hard wall-clock bound per "
+                             "live run in seconds (default: 60)")
+    parser.add_argument("--record-trace", default=None, metavar="PATH",
+                        help="for `drive`: record live arrivals to a replay "
+                             "trace (.csv/.jsonl); wall-clock epochs are "
+                             "normalized to t=0 on save")
+    parser.add_argument("--port", type=int, default=0,
+                        help="for `serve`: UDP port (default: 0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="for `serve`/`drive`: worker slots per server "
+                             "(default: 1)")
     return parser
 
 

@@ -307,7 +307,9 @@ class ReliabilityEngine:
         if capacity is None:
             return True
         now = self.cluster.sim.now
-        tokens, last = self._buckets.get(client_id, (capacity, 0.0))
+        # A fresh bucket is full *now* — not at t=0, which is only the
+        # origin of the simulator's clock (the Clock seam allows any).
+        tokens, last = self._buckets.get(client_id, (capacity, now))
         tokens = min(capacity, tokens + (now - last) * self.policy.retry_budget_refill)
         if tokens >= 1.0:
             self._buckets[client_id] = (tokens - 1.0, now)

@@ -475,12 +475,32 @@ class ScenarioSpec:
             n_requests=n_requests,
             seed=self.seed,
         )
+        wl_params = dict(wl.params)
+        if wl.workload == "replay_file" and "digest" not in wl_params:
+            # Pin the trace's content digest so the result-cache key is
+            # content-addressed: a replay_file cell keyed by path alone
+            # would keep returning stale cached results after the trace
+            # file is edited or regenerated on disk.
+            from repro.workload.replay import trace_digest
+
+            path = wl_params.get("path")
+            if path is None:
+                raise ScenarioError(
+                    "workloads",
+                    f"cell {label!r}: replay_file requires a 'path' param",
+                )
+            try:
+                wl_params["digest"] = trace_digest(path)
+            except OSError as err:
+                raise ScenarioError(
+                    "workloads", f"cell {label!r}: replay_file {path!r}: {err}"
+                ) from None
         try:
             config = SimulationConfig(
                 policy=policy.policy,
                 policy_params=dict(policy.params),
                 workload=wl.workload,
-                workload_params=dict(wl.params),
+                workload_params=wl_params,
                 load=float(load),
                 n_servers=n_servers,
                 n_requests=n_requests,

@@ -1,0 +1,35 @@
+"""Live (wall-clock, asyncio UDP) runtime for the Neptune prototype.
+
+This package runs the *same* policy, reliability, and overload code as
+the simulator, over real loopback UDP sockets with real time:
+
+- :mod:`~repro.live.clock` — ``WallClock``: the :class:`repro.sim.clock.Clock`
+  implementation backed by an asyncio event loop's monotonic time.
+- :mod:`~repro.live.wire` — versioned datagram codec for the message
+  kinds the sim models (REQUEST/RESPONSE/REJECT/POLL/POLL_REPLY/PUBLISH).
+- :mod:`~repro.live.server` — ``LiveServer``: an asyncio UDP server node
+  with a FIFO worker queue, CPU-spin or sleep service work, soft-state
+  PUBLISH announcements, and the shared ``OverloadController``.
+- :mod:`~repro.live.client` — ``LiveCluster``: the client/drive agent
+  exposing the same policy-context surface as ``ServiceCluster`` so
+  registry policies, ``ReliabilityEngine``, ``ClusterMetrics``, and
+  ``TelemetryCollector`` run unmodified.
+- :mod:`~repro.live.faults` — seeded loss/delay/duplication injection
+  for loopback race-parity tests.
+- :mod:`~repro.live.harness` — in-process loopback orchestration plus
+  the sim-vs-real comparison used by ``repro drive``.
+
+Nothing here is imported by the simulation paths: with no live runtime
+involved, simulation outputs are bit-identical to pre-live behavior.
+"""
+
+from repro.live.clock import WallClock, WallHandle
+from repro.live.wire import WireError, decode_message, encode_message
+
+__all__ = [
+    "WallClock",
+    "WallHandle",
+    "WireError",
+    "decode_message",
+    "encode_message",
+]

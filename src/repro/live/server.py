@@ -1,0 +1,361 @@
+"""``LiveServer`` — a real asyncio UDP server node.
+
+One ``LiveServer`` is the live counterpart of the sim's ``ServerNode``
+plus its slice of ``ServiceCluster._deliver_request``: a FIFO queue
+drained by ``workers`` asyncio worker tasks, service work performed
+either as a real CPU spin (``prototype.microbench``) or as an
+``asyncio.sleep`` (deterministic tests), admission control through the
+**same** :class:`~repro.cluster.overload.OverloadController` as the
+simulator, and soft-state availability announcements through the
+**same** :class:`~repro.cluster.availability.ServicePublisher` — both
+running against a :class:`~repro.live.clock.WallClock`.
+
+At-most-once semantics over a lossy transport follow the classic
+reply-cache design: a REQUEST whose ``(id, attempt)`` was already
+served is answered from the cache without re-executing the service
+(``duplicates_ignored``); a request id currently queued is dropped
+(at most one live copy per server, mirroring the sim's ``queued_at``
+guard). POLL handling optionally burns ``poll_spin`` seconds of real
+CPU — the §4.1 polling-overhead source that makes poll size 8 degrade
+on real hardware.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.availability import ServicePublisher
+from repro.cluster.overload import OverloadController, OverloadPolicy
+from repro.live.clock import WallClock
+from repro.live.faults import LoopbackFaults
+from repro.live.wire import WireError, decode_message, encode_message
+from repro.prototype.microbench import SpinCalibration, calibrate_spin, spin_for
+
+__all__ = ["LiveServer", "DEFAULT_SERVICE_NAME"]
+
+DEFAULT_SERVICE_NAME = "svc"
+
+
+class _ServiceStamp:
+    """Duck-typed stand-in for ``Request`` in ``observe_completion``
+    (the controller's EWMA reads only ``start_time``)."""
+
+    __slots__ = ("start_time",)
+
+    def __init__(self, start_time: float):
+        self.start_time = start_time
+
+
+class _WirePublishChannel:
+    """Duck-typed ``AvailabilityChannel`` for :class:`ServicePublisher`:
+    ``publish`` fans PUBLISH datagrams out to subscribed client addrs."""
+
+    __slots__ = ("server",)
+
+    def __init__(self, server: "LiveServer"):
+        self.server = server
+
+    def publish(self, src: int, payload: Any) -> int:
+        node_id, entries, published_at = payload
+        data = encode_message(
+            "publish", server=node_id, entries=[list(e) for e in entries], at=published_at
+        )
+        for addr in list(self.server.subscribers):
+            self.server.send_datagram(data, addr)
+        return len(self.server.subscribers)
+
+
+class LiveServer(asyncio.DatagramProtocol):
+    """An asyncio UDP service node (the Neptune prototype's server side)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        clock: WallClock,
+        *,
+        workers: int = 1,
+        mode: str = "sleep",
+        calibration: Optional[SpinCalibration] = None,
+        slice_seconds: float = 0.001,
+        poll_spin: float = 0.0,
+        max_queue: Optional[int] = None,
+        overload: Optional[OverloadPolicy] = None,
+        publish_interval: Optional[float] = None,
+        entries: Iterable[Tuple[str, int]] = ((DEFAULT_SERVICE_NAME, 0),),
+        rng: Optional[np.random.Generator] = None,
+        faults: Optional[LoopbackFaults] = None,
+    ) -> None:
+        if mode not in ("sleep", "spin"):
+            raise ValueError(f"mode must be 'sleep' or 'spin', got {mode!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if slice_seconds <= 0:
+            raise ValueError(f"slice_seconds must be > 0, got {slice_seconds!r}")
+        self.node_id = node_id
+        self.clock = clock
+        self.workers = workers
+        self.mode = mode
+        self.slice_seconds = slice_seconds
+        self.poll_spin = poll_spin
+        self.max_queue = max_queue
+        self.faults = faults
+        self._rng = rng if rng is not None else np.random.default_rng(node_id)
+        self._calibration = calibration
+        if mode == "spin" or poll_spin > 0.0:
+            # Calibrate once, up front, so service work never includes a
+            # calibration transient.
+            if self._calibration is None:
+                self._calibration = calibrate_spin(0.02)
+
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.alive = True
+        self._queue: "asyncio.Queue[Tuple[Dict[str, Any], Tuple[str, int]]]" = asyncio.Queue()
+        self._queued_ids: Set[int] = set()
+        self._in_service = 0
+        # Reply cache: request id -> (attempt, encoded RESPONSE datagram).
+        self._served: Dict[int, Tuple[int, bytes]] = {}
+        self._worker_tasks: list = []
+
+        # Availability: shared ServicePublisher over a wire-backed channel.
+        self.subscribers: Set[Tuple[str, int]] = set()
+        self.publisher: Optional[ServicePublisher] = None
+        if publish_interval is not None:
+            self.publisher = ServicePublisher(
+                self.clock,  # the Clock seam: wall clock instead of the sim
+                _WirePublishChannel(self),
+                node_id,
+                entries=entries,
+                mean_interval=publish_interval,
+                rng=self._rng,
+            )
+
+        # Overload control: the simulator's controller, on wall time.
+        self.overload: Optional[OverloadController] = None
+        if overload is not None and overload.enabled:
+            self.overload = OverloadController(
+                overload, self.clock, workers=workers, rng=self._rng
+            )
+            if self.publisher is not None and overload.withdraw_after is not None:
+                self.overload.on_withdraw = self.publisher.stop
+                self.overload.on_rejoin = self._rejoin
+
+        # Counters (mirroring ServerNode / ServiceCluster names).
+        self.completed_count = 0
+        self.rejected_count = 0
+        self.rejects_sent = 0
+        self.duplicates_ignored = 0
+        self.polls_served = 0
+        self.wire_errors = 0
+        self.poll_spin_total = 0.0
+
+    # ------------------------------------------------------------------
+    # asyncio protocol plumbing
+    # ------------------------------------------------------------------
+    def connection_made(self, transport) -> None:  # type: ignore[override]
+        self.transport = transport
+        for _ in range(self.workers):
+            self._worker_tasks.append(asyncio.ensure_future(self._worker()))
+        if self.publisher is not None:
+            self.publisher.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.transport is not None, "server not started"
+        return self.transport.get_extra_info("sockname")[:2]
+
+    def close(self) -> None:
+        """Stop serving: cancel workers, stop publishing, close the socket.
+
+        Used both for orderly shutdown and to simulate a crash in the
+        race-parity tests (in-flight requests die with the node).
+        """
+        self.alive = False
+        if self.publisher is not None:
+            self.publisher.stop()
+        for task in self._worker_tasks:
+            task.cancel()
+        self._worker_tasks.clear()
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+
+    def send_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
+        """Send through the (optional) fault plan — the live counterpart
+        of the sim chaos layer's send-time gate."""
+        if self.transport is None or not self.alive:
+            return
+        if self.faults is None:
+            self.transport.sendto(data, addr)
+            return
+        plan = self.faults.plan()
+        if plan is None:
+            return
+        for delay in plan:
+            if delay <= 0.0:
+                self.transport.sendto(data, addr)
+            else:
+                self.clock.after(delay, self._late_send, (data, addr))
+
+    def _late_send(self, item: Tuple[bytes, Tuple[str, int]]) -> None:
+        if self.transport is not None and self.alive:
+            self.transport.sendto(*item)
+
+    # ------------------------------------------------------------------
+    # datagram handling
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Queued + in-service, the load metric POLL replies report
+        (same semantics as ``ServerNode.queue_length``)."""
+        return self._queue.qsize() + self._in_service
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:  # type: ignore[override]
+        if not self.alive:
+            return
+        try:
+            msg = decode_message(data)
+        except WireError:
+            self.wire_errors += 1
+            return
+        kind = msg["k"]
+        if kind == "poll":
+            self._on_poll(msg, addr)
+        elif kind == "request":
+            self._on_request(msg, addr)
+        elif kind == "subscribe":
+            self._on_subscribe(msg, addr)
+        # Anything else (response/reject/poll_reply) is not for servers.
+
+    def _on_poll(self, msg: Dict[str, Any], addr: Tuple[str, int]) -> None:
+        self.polls_served += 1
+        if self.poll_spin > 0.0:
+            # Real CPU charged to poll handling — §4.1's server-side
+            # overhead source, and the reason poll size 8 degrades.
+            assert self._calibration is not None
+            spin_for(self.poll_spin, self._calibration)
+            self.poll_spin_total += self.poll_spin
+        reply = encode_message(
+            "poll_reply",
+            pid=msg["pid"],
+            server=self.node_id,
+            q=self.queue_length,
+            at=self.clock.now,
+        )
+        self.send_datagram(reply, addr)
+
+    def _on_subscribe(self, msg: Dict[str, Any], addr: Tuple[str, int]) -> None:
+        self.subscribers.add(addr)
+        if self.publisher is not None and self.publisher.running:
+            # Answer the new subscriber immediately so it need not wait
+            # out a refresh interval (mirrors the sim's table priming).
+            data = encode_message(
+                "publish",
+                server=self.node_id,
+                entries=[list(e) for e in self.publisher.entries],
+                at=self.clock.now,
+            )
+            self.send_datagram(data, addr)
+
+    def _on_request(self, msg: Dict[str, Any], addr: Tuple[str, int]) -> None:
+        req_id = msg["id"]
+        attempt = msg["attempt"]
+        if req_id in self._queued_ids:
+            # At most one live copy per server (sim: queued_at guard).
+            self.duplicates_ignored += 1
+            return
+        served = self._served.get(req_id)
+        if served is not None and served[0] == attempt:
+            # Duplicate of an attempt we already executed: re-send the
+            # cached RESPONSE, never re-run the service (at-most-once).
+            self.duplicates_ignored += 1
+            self.send_datagram(served[1], addr)
+            return
+        if self.max_queue is not None and self.queue_length >= self.max_queue:
+            self._reject(msg, addr)
+            return
+        if self.overload is not None and not self.overload.admit(self.queue_length):
+            self._reject(msg, addr, shed=True)
+            return
+        self._queued_ids.add(req_id)
+        msg["_enq"] = self.clock.now
+        self._queue.put_nowait((msg, addr))
+
+    def _reject(self, msg: Dict[str, Any], addr: Tuple[str, int], shed: bool = False) -> None:
+        self.rejected_count += 1
+        fast = self.overload.policy.fast_reject if (shed and self.overload) else True
+        if fast:
+            self.rejects_sent += 1
+            nack = encode_message(
+                "reject", id=msg["id"], attempt=msg["attempt"], server=self.node_id
+            )
+            self.send_datagram(nack, addr)
+
+    def _rejoin(self) -> None:
+        if self.alive and self.publisher is not None:
+            self.publisher.start()
+
+    # ------------------------------------------------------------------
+    # service work
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            msg, addr = await self._queue.get()
+            self._in_service += 1
+            try:
+                await self._serve(msg, addr)
+            finally:
+                self._in_service -= 1
+                self._queued_ids.discard(msg["id"])
+
+    async def _serve(self, msg: Dict[str, Any], addr: Tuple[str, int]) -> None:
+        start = self.clock.now
+        service = float(msg["service"])
+        if self.mode == "sleep":
+            await asyncio.sleep(service)
+        else:
+            # Real CPU spin, sliced so datagrams (polls!) are handled
+            # between slices — their replies contend with service work
+            # exactly as on the paper's hardware.
+            assert self._calibration is not None
+            remaining = service
+            while remaining > 0.0:
+                chunk = min(self.slice_seconds, remaining)
+                spin_for(chunk, self._calibration)
+                remaining -= chunk
+                await asyncio.sleep(0)
+        done = self.clock.now
+        response = encode_message(
+            "response",
+            id=msg["id"],
+            attempt=msg["attempt"],
+            server=self.node_id,
+            enq=msg["_enq"],
+            start=start,
+            done=done,
+        )
+        self.completed_count += 1
+        self._served[msg["id"]] = (msg["attempt"], response)
+        if len(self._served) > 4096:
+            # Trim the reply cache FIFO-ish (insertion ordered dict).
+            for key in list(self._served)[:1024]:
+                del self._served[key]
+        if self.overload is not None:
+            self.overload.observe_completion(_ServiceStamp(start), self.queue_length)
+        self.send_datagram(response, addr)
+
+    def counters(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "completed": float(self.completed_count),
+            "rejected": float(self.rejected_count),
+            "rejects_sent": float(self.rejects_sent),
+            "duplicates_ignored": float(self.duplicates_ignored),
+            "polls_served": float(self.polls_served),
+            "wire_errors": float(self.wire_errors),
+            "poll_spin_total": self.poll_spin_total,
+        }
+        if self.overload is not None:
+            out.update({k: float(v) for k, v in self.overload.counters().items()})
+        return out

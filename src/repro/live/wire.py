@@ -1,0 +1,80 @@
+"""Datagram codec for the live runtime.
+
+One JSON object per UDP datagram, versioned, with a short ``k`` kind
+tag matching the sim's :class:`~repro.net.message.MessageKind` values.
+JSON keeps the wire human-debuggable (``tcpdump -A`` readable) and
+dependency-free; datagrams stay well under loopback MTU.
+
+Message kinds and required fields:
+
+``request``      ``id`` ``attempt`` ``client`` ``service`` (seconds)
+``response``     ``id`` ``attempt`` ``server`` ``enq`` ``start`` ``done``
+``reject``       ``id`` ``attempt`` ``server``
+``poll``         ``pid``
+``poll_reply``   ``pid`` ``server`` ``q`` ``at``
+``publish``      ``server`` ``entries`` ``at``
+``subscribe``    ``client``
+
+Times are seconds on the *sender's* clock. Within the in-process
+loopback harness every component shares one ``WallClock`` so they are
+directly comparable; the standalone ``repro serve`` path documents the
+cross-clock caveat (clients fall back to duration arithmetic).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = ["WIRE_VERSION", "WireError", "encode_message", "decode_message", "KINDS"]
+
+WIRE_VERSION = 1
+
+#: Wire kind tag -> required fields (beyond ``v`` and ``k``).
+KINDS: Dict[str, tuple] = {
+    "request": ("id", "attempt", "client", "service"),
+    "response": ("id", "attempt", "server", "enq", "start", "done"),
+    "reject": ("id", "attempt", "server"),
+    "poll": ("pid",),
+    "poll_reply": ("pid", "server", "q", "at"),
+    "publish": ("server", "entries", "at"),
+    "subscribe": ("client",),
+}
+
+
+class WireError(ValueError):
+    """Raised for malformed, unversioned, or unknown datagrams."""
+
+
+def encode_message(kind: str, **fields: Any) -> bytes:
+    """Encode one datagram. Validates the kind and required fields."""
+    required = KINDS.get(kind)
+    if required is None:
+        raise WireError(f"unknown wire kind: {kind!r}")
+    missing = [name for name in required if name not in fields]
+    if missing:
+        raise WireError(f"{kind} datagram missing fields: {missing}")
+    payload = {"v": WIRE_VERSION, "k": kind}
+    payload.update(fields)
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(data: bytes) -> Dict[str, Any]:
+    """Decode and validate one datagram; returns the field dict."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable datagram: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError(f"datagram is not an object: {type(payload).__name__}")
+    version = payload.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version: {version!r} (expected {WIRE_VERSION})")
+    kind = payload.get("k")
+    required = KINDS.get(kind)  # type: ignore[arg-type]
+    if required is None:
+        raise WireError(f"unknown wire kind: {kind!r}")
+    missing = [name for name in required if name not in payload]
+    if missing:
+        raise WireError(f"{kind} datagram missing fields: {missing}")
+    return payload

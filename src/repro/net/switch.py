@@ -21,12 +21,17 @@ DeliveryCallback = Callable[[Message], None]
 
 
 class _EgressPort:
-    """FIFO egress port: messages serialize one at a time."""
+    """FIFO egress port: messages serialize one at a time.
+
+    ``busy_until`` starts at ``-inf``, not 0: the clock seam permits
+    any origin, and an idle port must never delay the first message
+    just because the clock happens to read below zero.
+    """
 
     __slots__ = ("busy_until",)
 
     def __init__(self) -> None:
-        self.busy_until = 0.0
+        self.busy_until = float("-inf")
 
 
 class SwitchedEthernet:

@@ -20,6 +20,7 @@ part of :mod:`repro`:
 
 from repro.sim.engine import EventHandle, Simulator, SimulationError
 from repro.sim.calendar import CalendarSimulator, DEFAULT_ENGINE, ENGINES, make_simulator
+from repro.sim.clock import Clock, ClockHandle, ManualClock, ManualHandle
 from repro.sim.events import AllOf, AnyOf, Signal
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
@@ -31,6 +32,10 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "CalendarSimulator",
+    "Clock",
+    "ClockHandle",
+    "ManualClock",
+    "ManualHandle",
     "DEFAULT_ENGINE",
     "ENGINES",
     "EventHandle",

@@ -28,12 +28,17 @@ def sample_series(
     cluster: "ServiceCluster",
     interval: float,
     end_time: Optional[float] = None,
+    start: float = 0.0,
 ) -> dict[str, np.ndarray]:
     """Evaluate the cluster's telemetry recorders on a periodic grid.
 
     Returns a mapping of series name to a float64 array, all aligned to
-    the ``"time"`` grid (``0, interval, 2*interval, ...`` up to the end
-    of the run):
+    the ``"time"`` grid (``start, start+interval, ...`` up to the end
+    of the run). ``start`` defaults to 0 — the simulator's origin — but
+    a clock with an arbitrary origin (the Clock seam allows any; e.g. a
+    wall clock anchored far from zero) must pass its run-start time, or
+    the grid from 0 would try to materialize one sample per interval of
+    the entire offset:
 
     - ``server<i>.queue`` — load index (queued + in-service) per server;
     - ``server<i>.utilization`` — busy workers / total workers. With a
@@ -51,9 +56,9 @@ def sample_series(
         raise ValueError(f"interval must be > 0, got {interval}")
     end = cluster.sim.now if end_time is None else end_time
     # Include the final partial period's left edge; guard degenerate
-    # zero-length runs with a single t=0 sample.
-    n_samples = max(1, int(np.floor(end / interval)) + 1)
-    grid = np.arange(n_samples, dtype=np.float64) * interval
+    # zero-length (or end-before-start) runs with a single sample.
+    n_samples = max(1, int(np.floor((end - start) / interval)) + 1)
+    grid = start + np.arange(n_samples, dtype=np.float64) * interval
     series: dict[str, np.ndarray] = {"time": grid}
     for server in cluster.servers:
         recorder = server.queue_recorder

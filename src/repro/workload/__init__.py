@@ -41,6 +41,7 @@ from repro.workload.replay import (
     bursty_trace,
     diurnal_trace,
     file_trace,
+    live_trace,
     load_arrivals,
     replay_file_params,
     save_arrivals,
@@ -91,6 +92,7 @@ __all__ = [
     "diurnal_trace",
     "extract_peak_portion",
     "file_trace",
+    "live_trace",
     "load_arrivals",
     "replay_file_params",
     "save_arrivals",

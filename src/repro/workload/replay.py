@@ -47,8 +47,10 @@ from repro.workload.distributions import (
 from repro.workload.traces import Trace
 
 __all__ = [
+    "EPOCH_CUTOFF",
     "bursty_trace",
     "diurnal_trace",
+    "live_trace",
     "load_arrivals",
     "load_arrivals_csv",
     "load_arrivals_jsonl",
@@ -62,6 +64,30 @@ __all__ = [
 
 #: CSV header / JSONL field names for arrival records
 _FIELDS = ("timestamp", "service")
+
+#: Timestamps at/above this (in seconds) are treated as absolute
+#: wall-clock epoch offsets rather than trace-relative instants.
+#: Trace-relative traces run minutes-to-hours; ~11.6 days of relative
+#: time is far beyond any replayable trace, while Unix epochs are ~1.7e9.
+#: Live ``repro drive`` recordings carry epoch timestamps — they are
+#: normalized to t=0 at save time, and loaders refuse them raw (the
+#: first gap would otherwise be the epoch itself, and the runner's
+#: mean-based load rescale would silently destroy the trace's shape).
+EPOCH_CUTOFF = 1e6
+
+
+def _classify_epochs(times: np.ndarray, source: str) -> bool:
+    """True if ``times`` are epoch-based; raises on mixed-epoch input."""
+    first = float(times[0])
+    last = float(times[-1])
+    if first < EPOCH_CUTOFF <= last:
+        raise ValueError(
+            f"{source}: mixed-epoch timestamps (first={first!r} is "
+            f"trace-relative but last={last!r} crosses the epoch cutoff "
+            f"{EPOCH_CUTOFF:g}s) — the trace mixes normalized and "
+            "wall-clock records and cannot be replayed"
+        )
+    return first >= EPOCH_CUTOFF
 
 
 def _service_distribution(mean_service: float, service_cv: float) -> Distribution:
@@ -237,6 +263,14 @@ def _trace_from_records(
         raise ValueError(f"{source}: timestamps must be non-decreasing")
     if times[0] < 0:
         raise ValueError(f"{source}: negative first timestamp")
+    if _classify_epochs(times, source):
+        raise ValueError(
+            f"{source}: non-normalized epoch timestamps (first arrival "
+            f"{times[0]!r} >= {EPOCH_CUTOFF:g}s) — re-export the trace "
+            "with save_arrivals(), which normalizes wall-clock epochs "
+            "to t=0 (or use repro.workload.replay.live_trace for "
+            "in-memory live recordings)"
+        )
     return Trace(
         name=f"Replay {Path(source).name}",
         interarrival=_gaps_from_times(times),
@@ -309,9 +343,16 @@ def _export_timestamps(trace: Trace) -> np.ndarray:
     stored = trace.metadata.get("timestamps")
     if stored is not None:
         stored = np.asarray(stored, dtype=np.float64)
-        if stored.shape[0] == len(trace):
-            return stored
-    return trace.arrival_times
+        if stored.shape[0] != len(trace):
+            stored = None
+    times = stored if stored is not None else trace.arrival_times
+    if times.size and _classify_epochs(times, trace.name):
+        # Live recordings carry wall-clock epochs: normalize to t=0 at
+        # save time. Loaded traces always start below the cutoff (the
+        # loader enforces it), so round-trips stay byte-exact — this
+        # shift only ever applies to freshly recorded traces.
+        times = times - times[0]
+    return times
 
 
 def save_arrivals_csv(trace: Trace, path: str | Path) -> None:
@@ -353,6 +394,39 @@ def save_arrivals(trace: Trace, path: str | Path) -> None:
             f"{path}: unsupported arrival-trace suffix {path.suffix!r} "
             "(expected .csv, .jsonl, or .ndjson)"
         )
+
+
+def live_trace(
+    timestamps, services, source: str = "live-recording"
+) -> Trace:
+    """Build an in-memory :class:`Trace` from a live (wall-clock) run.
+
+    ``timestamps`` may be epoch-based (``time.time()`` instants, as
+    recorded by ``repro drive --record-trace``): the interarrival gaps
+    are derived from *normalized* times so the trace is immediately
+    replayable, while the raw instants are kept in
+    ``metadata["timestamps"]`` — :func:`save_arrivals` normalizes them
+    to t=0 on export, after which the file round-trips byte-exactly
+    through the loaders.
+    """
+    times = np.asarray(timestamps, dtype=np.float64)
+    svc = np.asarray(services, dtype=np.float64)
+    if times.ndim != 1 or times.size == 0 or times.shape != svc.shape:
+        raise ValueError(
+            f"{source}: timestamps and services must be equal-length "
+            "non-empty 1-D arrays"
+        )
+    if (np.diff(times) < 0).any():
+        raise ValueError(f"{source}: timestamps must be non-decreasing")
+    if times[0] < 0:
+        raise ValueError(f"{source}: negative first timestamp")
+    normalized = times - times[0] if _classify_epochs(times, source) else times
+    return Trace(
+        name=f"Replay {source}",
+        interarrival=_gaps_from_times(normalized),
+        service=svc,
+        metadata={"source": str(source), "timestamps": times},
+    )
 
 
 # ----------------------------------------------------------------------

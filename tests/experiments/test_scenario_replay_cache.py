@@ -1,0 +1,87 @@
+"""Cache identity for replay-file cells and --quick runs.
+
+The result cache keys on the full ``SimulationConfig``. Two hazards:
+a ``replay_file`` workload keyed only by *path* would serve stale
+results after the trace file's contents change, and a ``--quick`` run
+must never collide with a full run. The first is fixed by auto-pinning
+the trace digest at expansion time; the second holds by construction
+because ``n_requests`` is part of the key — both are locked in here.
+"""
+
+import pytest
+
+from repro.experiments.cache import config_key
+from repro.experiments.scenario import ScenarioError, ScenarioSpec, WorkloadAxis
+
+_TRACE_A = "0.0,0.001\n0.01,0.002\n0.025,0.001\n"
+_TRACE_B = "0.0,0.001\n0.02,0.002\n0.050,0.001\n"
+
+
+def _spec(path, n_requests=100):
+    return ScenarioSpec(
+        name="replay-cache",
+        workloads=(WorkloadAxis("trace", "replay_file", {"path": str(path)}),),
+        loads=(0.5,),
+        n_requests=n_requests,
+    )
+
+
+def _write_trace(tmp_path, body):
+    path = tmp_path / "trace.csv"
+    path.write_text("timestamp,service\n" + body)
+    return path
+
+
+def test_replay_file_cell_pins_content_digest(tmp_path):
+    path = _write_trace(tmp_path, _TRACE_A)
+    (cell,) = _spec(path).expand()
+    params = cell.config.workload_params
+    assert params["path"] == str(path)
+    assert "digest" in params and len(params["digest"]) == 16
+
+
+def test_editing_trace_contents_changes_the_cache_key(tmp_path):
+    path = _write_trace(tmp_path, _TRACE_A)
+    (cell_a,) = _spec(path).expand()
+    key_a = config_key(cell_a.config)
+    # Same path, different contents: the stale-cache regression.
+    path.write_text("timestamp,service\n" + _TRACE_B)
+    (cell_b,) = _spec(path).expand()
+    key_b = config_key(cell_b.config)
+    assert key_a != key_b
+
+
+def test_explicit_digest_is_respected_not_overwritten(tmp_path):
+    path = _write_trace(tmp_path, _TRACE_A)
+    spec = ScenarioSpec(
+        name="pinned",
+        workloads=(WorkloadAxis("trace", "replay_file",
+                                {"path": str(path), "digest": "feedface00000000"}),),
+        loads=(0.5,),
+        n_requests=100,
+    )
+    (cell,) = spec.expand()
+    assert cell.config.workload_params["digest"] == "feedface00000000"
+
+
+def test_quick_and_full_runs_never_share_a_key(tmp_path):
+    path = _write_trace(tmp_path, _TRACE_A)
+    (quick,) = _spec(path, n_requests=200).expand()
+    (full,) = _spec(path, n_requests=20_000).expand()
+    assert config_key(quick.config) != config_key(full.config)
+
+
+def test_missing_path_fails_at_expansion_not_run_time(tmp_path):
+    # A pathless replay_file axis is rejected at axis param validation,
+    # before digest pinning even runs.
+    pathless = ScenarioSpec(
+        name="pathless",
+        workloads=(WorkloadAxis("trace", "replay_file", {}),),
+        loads=(0.5,),
+        n_requests=100,
+    )
+    with pytest.raises(ScenarioError, match="replay_file"):
+        pathless.expand()
+    missing = tmp_path / "nope.csv"
+    with pytest.raises(ScenarioError, match="nope.csv"):
+        _spec(missing).expand()

@@ -1,0 +1,60 @@
+"""Datagram codec: round-trips, validation, versioning."""
+
+import json
+
+import pytest
+
+from repro.live.wire import KINDS, WIRE_VERSION, WireError, decode_message, encode_message
+
+_EXAMPLES = {
+    "request": {"id": 7, "attempt": 0, "client": 4, "service": 0.01},
+    "response": {"id": 7, "attempt": 0, "server": 1, "enq": 1.0, "start": 1.1, "done": 1.2},
+    "reject": {"id": 7, "attempt": 1, "server": 2},
+    "poll": {"pid": 33},
+    "poll_reply": {"pid": 33, "server": 0, "q": 2, "at": 5.5},
+    "publish": {"server": 3, "entries": [["svc", 0]], "at": 2.0},
+    "subscribe": {"client": 9},
+}
+
+
+def test_every_kind_round_trips():
+    assert set(_EXAMPLES) == set(KINDS)
+    for kind, fields in _EXAMPLES.items():
+        data = encode_message(kind, **fields)
+        msg = decode_message(data)
+        assert msg["k"] == kind
+        assert msg["v"] == WIRE_VERSION
+        for name, value in fields.items():
+            assert msg[name] == value
+
+
+def test_encode_rejects_unknown_kind_and_missing_fields():
+    with pytest.raises(WireError, match="unknown wire kind"):
+        encode_message("gossip", x=1)
+    with pytest.raises(WireError, match="missing fields"):
+        encode_message("request", id=1, attempt=0)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(WireError, match="undecodable"):
+        decode_message(b"\xff\xfe not json")
+    with pytest.raises(WireError, match="undecodable"):
+        decode_message(b"{truncated")
+    with pytest.raises(WireError, match="not an object"):
+        decode_message(b"[1,2,3]")
+
+
+def test_decode_rejects_wrong_version_and_missing_fields():
+    blob = dict(v=WIRE_VERSION + 1, k="poll", pid=1)
+    with pytest.raises(WireError, match="unsupported wire version"):
+        decode_message(json.dumps(blob).encode())
+    with pytest.raises(WireError, match="unknown wire kind"):
+        decode_message(json.dumps(dict(v=WIRE_VERSION, k="nope")).encode())
+    with pytest.raises(WireError, match="missing fields"):
+        decode_message(json.dumps(dict(v=WIRE_VERSION, k="poll")).encode())
+
+
+def test_datagrams_are_compact_single_objects():
+    data = encode_message("poll", pid=123)
+    assert b" " not in data  # compact separators
+    assert len(data) < 64
