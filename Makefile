@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke scenario-smoke serve-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke autoscale-smoke scenario-smoke serve-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -65,6 +65,13 @@ resilience-smoke:
 overload-smoke:
 	$(PYTHON) -m repro overload --quick --seed 0
 	$(PYTHON) -m repro overload --quick --seed 0
+
+# Tiny static-vs-autoscaled campaign behind the dispatcher tier (incl.
+# a dispatcher crash-storm fault axis); the second invocation must be
+# served from the result cache.
+autoscale-smoke:
+	$(PYTHON) -m repro autoscale --quick --seed 0
+	$(PYTHON) -m repro autoscale --quick --seed 0
 
 # Quick composed scenario (<60s): validates the builtin spec, then runs
 # the trimmed grid — chaos + hardened reliability + overload control +

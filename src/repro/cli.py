@@ -14,6 +14,7 @@ Usage::
     python -m repro chaos --quick
     python -m repro resilience --quick
     python -m repro overload --quick
+    python -m repro autoscale --quick
     python -m repro scenario --quick
     python -m repro scenario --spec grid.yaml --validate
     python -m repro trace --policy broadcast --policy-param mean_interval=0.1
@@ -58,6 +59,7 @@ _QUICK_REQUESTS = {
     "chaos": 600,
     "resilience": 600,
     "overload": 600,
+    "autoscale": 500,
     "scenario": 400,
     "trace": 800,
     "fastparity": 2_000,
@@ -220,6 +222,20 @@ def _overload(args) -> str:
     data = figures.overload_goodput(
         n_requests=args.requests or 4_000, seed=args.seed,
         parallel=not args.serial, **_sweep_kwargs(args),
+    )
+    out = data.render()
+    comparison = data.extras["comparison"]
+    if comparison:
+        out += "\n\n== per-cell deltas (identical arrival schedules) ==\n"
+        out += "\n".join(comparison)
+    return out
+
+
+def _autoscale(args) -> str:
+    """Static pool vs closed-loop autoscaler behind the dispatcher tier."""
+    data = figures.autoscale_efficiency(
+        n_requests=args.requests or 4_000, seed=args.seed,
+        quick=args.quick, parallel=not args.serial, **_sweep_kwargs(args),
     )
     out = data.render()
     comparison = data.extras["comparison"]
@@ -551,6 +567,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "chaos": (_chaos, "chaos campaign: resilience under injected faults"),
     "resilience": (_resilience, "naive vs hardened reliability layer under chaos"),
     "overload": (_overload, "overload campaign: goodput past saturation"),
+    "autoscale": (_autoscale, "autoscale campaign: goodput vs provisioning cost"),
     "scenario": (_scenario, "declarative scenario composition (spec file or builtin)"),
     "trace": (_trace, "request-lifecycle telemetry + staleness report"),
     "fastparity": (_fastparity, "fast path vs heap distribution-level parity"),

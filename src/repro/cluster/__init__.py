@@ -40,6 +40,8 @@ from repro.cluster.reliability import (
     ReliabilityPolicy,
 )
 from repro.cluster.overload import OverloadController, OverloadPolicy
+from repro.cluster.dispatcher import Dispatcher, DispatcherPolicy, DispatcherTier
+from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
 from repro.cluster.system import ClusterMetrics, ServiceCluster
 
 __all__ = [
@@ -56,6 +58,11 @@ __all__ = [
     "FailureInjector",
     "resilience_counters",
     "CircuitBreaker",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "Dispatcher",
+    "DispatcherPolicy",
+    "DispatcherTier",
     "OverloadController",
     "OverloadPolicy",
     "PartitionMap",

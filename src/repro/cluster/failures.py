@@ -92,8 +92,46 @@ class FailureInjector:
         self.dead.discard(node_id)
         self.crash_log.append((cluster.sim.now, node_id, "recover"))
         publisher = cluster.publishers.get(node_id)
-        if publisher is not None:
+        # A recovering server re-advertises only when nothing else holds
+        # it out of the pool: a server that crashed *while withdrawn* by
+        # its overload controller must stay silent until the controller
+        # itself rejoins (its withdrawn flag survived the crash), and a
+        # server the autoscaler parked stays parked across the cycle.
+        if publisher is not None and cluster.should_publish(node_id):
             publisher.start()
+
+    # ------------------------------------------------------------------
+    # dispatcher-tier faults (require cluster.dispatchers)
+    # ------------------------------------------------------------------
+    def schedule_dispatcher_crash(self, index: int, at: float) -> None:
+        """Crash dispatcher ``index`` at simulation time ``at``: it goes
+        network-silent (forwards and responses to it are swallowed via
+        the shared ``dead`` set) until recovery."""
+        self.cluster.sim.at(at, self._crash_dispatcher, index)
+
+    def schedule_dispatcher_recovery(self, index: int, at: float) -> None:
+        """Recover dispatcher ``index`` at simulation time ``at``."""
+        self.cluster.sim.at(at, self._recover_dispatcher, index)
+
+    def _crash_dispatcher(self, index: int) -> None:
+        tier = self.cluster.dispatchers
+        assert tier is not None, "dispatcher faults require the dispatcher tier"
+        dispatcher = tier.dispatchers[index]
+        if not dispatcher.alive:
+            return
+        dispatcher.alive = False
+        self.dead.add(dispatcher.node_id)
+        self.crash_log.append((self.cluster.sim.now, dispatcher.node_id, "crash"))
+
+    def _recover_dispatcher(self, index: int) -> None:
+        tier = self.cluster.dispatchers
+        assert tier is not None, "dispatcher faults require the dispatcher tier"
+        dispatcher = tier.dispatchers[index]
+        if dispatcher.alive:
+            return
+        dispatcher.alive = True
+        self.dead.discard(dispatcher.node_id)
+        self.crash_log.append((self.cluster.sim.now, dispatcher.node_id, "recover"))
 
 
 @dataclass(frozen=True)
@@ -121,6 +159,19 @@ class ChaosSpec:
     - ``storms`` correlated crash events take ``storm_size`` servers
       down simultaneously, recovering after ``storm_frac`` of the
       horizon.
+
+    Dispatcher-tier faults (require ``dispatcher_params`` on the
+    config — scheduling them against a cluster without the tier is a
+    loud error):
+
+    - ``dispatcher_storms`` crash events take ``dispatcher_storm_size``
+      dispatchers network-silent, recovering after
+      ``dispatcher_storm_frac`` of the horizon (at least one dispatcher
+      always survives, mirroring the server-storm clamp);
+    - ``dispatcher_partitions`` timed cuts isolate one dispatcher from
+      every *client* (its server-side view stays fresh; its clients
+      must time out and — under failover assignment — route around it)
+      for ``dispatcher_partition_frac`` of the horizon.
     """
 
     loss: float = 0.0
@@ -135,6 +186,11 @@ class ChaosSpec:
     storms: int = 0
     storm_size: int = 2
     storm_frac: float = 0.1
+    dispatcher_storms: int = 0
+    dispatcher_storm_size: int = 1
+    dispatcher_storm_frac: float = 0.25
+    dispatcher_partitions: int = 0
+    dispatcher_partition_frac: float = 0.12
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss <= 1.0:
@@ -145,10 +201,25 @@ class ChaosSpec:
             raise ValueError(f"jitter_mean must be >= 0, got {self.jitter_mean}")
         if self.straggle_factor <= 0:
             raise ValueError(f"straggle_factor must be > 0, got {self.straggle_factor}")
-        for name in ("stragglers", "partitions", "partition_servers", "storms", "storm_size"):
+        for name in (
+            "stragglers",
+            "partitions",
+            "partition_servers",
+            "storms",
+            "storm_size",
+            "dispatcher_storms",
+            "dispatcher_storm_size",
+            "dispatcher_partitions",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
-        for name in ("straggle_frac", "partition_frac", "storm_frac"):
+        for name in (
+            "straggle_frac",
+            "partition_frac",
+            "storm_frac",
+            "dispatcher_storm_frac",
+            "dispatcher_partition_frac",
+        ):
             if not 0.0 < getattr(self, name) <= 1.0:
                 raise ValueError(f"{name} must be in (0, 1], got {getattr(self, name)}")
 
@@ -195,7 +266,13 @@ class ChaosInjector(FailureInjector):
     # schedule derivation
     # ------------------------------------------------------------------
     def _schedule(self, spec: ChaosSpec) -> None:
-        if spec.stragglers == 0 and spec.partitions == 0 and spec.storms == 0:
+        if (
+            spec.stragglers == 0
+            and spec.partitions == 0
+            and spec.storms == 0
+            and spec.dispatcher_storms == 0
+            and spec.dispatcher_partitions == 0
+        ):
             return
         cluster = self.cluster
         if cluster._arrival_times is None:  # noqa: SLF001 - lifecycle check
@@ -232,6 +309,44 @@ class ChaosInjector(FailureInjector):
             for node in victims:
                 self.schedule_crash(node, at)
                 self.schedule_recovery(node, at + spec.storm_frac * horizon)
+        # Dispatcher-tier faults draw *after* every server-fault draw,
+        # so adding tier knobs to a spec never perturbs an existing
+        # server-fault schedule at the same seed.
+        if spec.dispatcher_storms == 0 and spec.dispatcher_partitions == 0:
+            return
+        tier = cluster.dispatchers
+        if tier is None:
+            raise ValueError(
+                "dispatcher_storms/dispatcher_partitions require the dispatcher "
+                "tier (set dispatcher_params on the config)"
+            )
+        n_dispatchers = len(tier.dispatchers)
+        client_ids = [client.node_id for client in cluster.clients]
+        for _ in range(spec.dispatcher_storms):
+            # Mirror the server-storm clamp: at least one dispatcher
+            # survives (a 1-dispatcher tier cannot storm).
+            k = min(max(1, spec.dispatcher_storm_size), n_dispatchers - 1)
+            if k == 0:
+                continue
+            victims = sorted(
+                int(i) for i in rng.choice(n_dispatchers, size=k, replace=False)
+            )
+            at = start_time()
+            self.events.append(("dispatcher_storm", at))
+            for index in victims:
+                self.schedule_dispatcher_crash(index, at)
+                self.schedule_dispatcher_recovery(
+                    index, at + spec.dispatcher_storm_frac * horizon
+                )
+        for _ in range(spec.dispatcher_partitions):
+            index = int(rng.integers(0, n_dispatchers))
+            at = start_time()
+            self.schedule_partition(
+                [tier.dispatchers[index].node_id],
+                client_ids,
+                at,
+                spec.dispatcher_partition_frac * horizon,
+            )
 
     # ------------------------------------------------------------------
     # event primitives (also usable directly by tests)
@@ -297,6 +412,18 @@ class ChaosInjector(FailureInjector):
         super()._recover(node_id)
         self.chaos_log.append((self.cluster.sim.now, "recover", f"server {node_id}"))
 
+    def _crash_dispatcher(self, index: int) -> None:
+        super()._crash_dispatcher(index)
+        self.chaos_log.append(
+            (self.cluster.sim.now, "dispatcher_crash", f"dispatcher {index}")
+        )
+
+    def _recover_dispatcher(self, index: int) -> None:
+        super()._recover_dispatcher(index)
+        self.chaos_log.append(
+            (self.cluster.sim.now, "dispatcher_recover", f"dispatcher {index}")
+        )
+
 
 def resilience_counters(
     injector: "ChaosInjector", metrics: "ClusterMetrics"
@@ -328,6 +455,10 @@ def resilience_counters(
     # reported (rejections were previously invisible in every report);
     # shed/withdrawal/NACK counters join it when overload control is on.
     counters.update(cluster.overload_counters())
+    if cluster.dispatchers is not None:
+        counters.update(cluster.dispatchers.counters())
+    if cluster.autoscaler is not None:
+        counters.update(cluster.autoscaler.counters())
     completed = np.isfinite(metrics.response_time) & ~metrics.failed
     arrivals = metrics.arrival_time[completed]
     completions = arrivals + metrics.response_time[completed]

@@ -43,6 +43,7 @@ class Request:
         "hedge",
         "rejects",
         "last_rejected_by",
+        "dispatcher_id",
     )
 
     def __init__(self, index: int, client_id: int, service_time: float, arrival_time: float):
@@ -84,6 +85,11 @@ class Request:
         #: request, -1 otherwise; the immediately following re-selection
         #: excludes it from the candidate set (cleared at dispatch)
         self.last_rejected_by = -1
+        #: index of the dispatcher-tier dispatcher handling the current
+        #: attempt, -1 when the tier is off or the request was never
+        #: routed through it (hedge clones dispatch directly); set by
+        #: :meth:`repro.cluster.dispatcher.DispatcherTier.route`
+        self.dispatcher_id = -1
 
     @property
     def poll_time(self) -> float:

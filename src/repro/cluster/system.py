@@ -41,6 +41,8 @@ from repro.sim.engine import EventHandle, SimulationError
 from repro.sim.rng import RngHub
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.autoscaler import AutoscalerPolicy
+    from repro.cluster.dispatcher import DispatcherPolicy
     from repro.cluster.overload import OverloadPolicy
     from repro.cluster.reliability import ReliabilityPolicy
     from repro.core.base import LoadBalancer
@@ -168,6 +170,17 @@ class ServiceCluster:
         load-aware availability withdrawal, per server. ``None`` (or a
         disabled policy) keeps every path bit-identical to a cluster
         built without the parameter (DESIGN.md §12).
+    dispatcher:
+        Optional :class:`repro.cluster.dispatcher.DispatcherPolicy` —
+        routes selections through K dispatcher nodes, each with its own
+        soft-state view, admission, and breakers (DESIGN.md §16).
+        ``None`` (or a disabled policy) keeps every path bit-identical
+        to a cluster built without the parameter.
+    autoscaler:
+        Optional :class:`repro.cluster.autoscaler.AutoscalerPolicy` —
+        closed-loop scaling of the publishing server pool from
+        goodput/shed/p95 window signals; requires ``availability=True``.
+        ``None`` (or a disabled policy) changes nothing.
     engine:
         Event-queue implementation ("heap" or "calendar"); both give
         bit-identical results (see :mod:`repro.sim.calendar`).
@@ -193,6 +206,8 @@ class ServiceCluster:
         reselect_delay: Optional[float] = None,
         reliability: Optional["ReliabilityPolicy"] = None,
         overload: Optional["OverloadPolicy"] = None,
+        dispatcher: Optional["DispatcherPolicy"] = None,
+        autoscaler: Optional["AutoscalerPolicy"] = None,
         engine: str = "heap",
     ):
         if n_servers < 1:
@@ -226,6 +241,7 @@ class ServiceCluster:
         self.network.set_latency(MessageKind.REQUEST, one_way)
         self.network.set_latency(MessageKind.RESPONSE, one_way)
         self.network.set_latency(MessageKind.REJECT, one_way)
+        self.network.set_latency(MessageKind.FORWARD, one_way)
         self.network.set_latency(MessageKind.POLL, poll_way)
         self.network.set_latency(MessageKind.POLL_REPLY, poll_way)
         self.network.set_latency(MessageKind.BROADCAST, poll_way)
@@ -251,6 +267,37 @@ class ServiceCluster:
         self.clients = [ClientNode(self.sim, n_servers + j) for j in range(n_clients)]
         self._static_members = list(range(n_servers))
 
+        # Dispatcher tier (optional): K dispatcher agents whose node ids
+        # continue after the client ids; clients forward selections to
+        # them instead of running the policy locally (DESIGN.md §16).
+        # Built before the availability block so dispatcher views can
+        # subscribe alongside client tables.
+        #: the active :class:`~repro.cluster.dispatcher.DispatcherTier`
+        #: (None when the tier is off)
+        self.dispatchers = None
+        if dispatcher is not None and dispatcher.enabled:
+            from repro.cluster.dispatcher import DispatcherTier
+
+            self.dispatchers = DispatcherTier(self, dispatcher)
+
+        # Closed-loop autoscaler (optional): scales the *publishing*
+        # server pool through the soft-state machinery, so it requires
+        # the availability subsystem. Built before the availability
+        # block so initial table priming and publisher starts can be
+        # gated on the initial active set.
+        #: the active :class:`~repro.cluster.autoscaler.Autoscaler`
+        #: (None when autoscaling is off)
+        self.autoscaler = None
+        if autoscaler is not None and autoscaler.enabled:
+            from repro.cluster.autoscaler import Autoscaler
+
+            if not availability:
+                raise ValueError(
+                    "autoscaler requires availability=True (scale-up/-down "
+                    "actuates through soft-state publish/withdrawal)"
+                )
+            self.autoscaler = Autoscaler(self, autoscaler)
+
         # Availability subsystem (optional).
         self.availability_enabled = availability
         self.publishers: dict[int, ServicePublisher] = {}
@@ -258,25 +305,44 @@ class ServiceCluster:
         if availability:
             channel = AvailabilityChannel(self.network)
             self.availability_channel = channel
-            # Subscribe clients before the first publish round so no
+            scaler = self.autoscaler
+            # Subscribe selector views (clients, plus dispatcher agents
+            # when the tier is on) before the first publish round so no
             # announcement is lost to construction ordering.
-            for client in self.clients:
+            selector_nodes = list(self.clients)
+            if self.dispatchers is not None:
+                selector_nodes += [d.agent for d in self.dispatchers.dispatchers]
+            view_lag = 0.0 if dispatcher is None else dispatcher.view_lag
+            for node in selector_nodes:
                 table = ServiceMappingTable(self.sim, ttl=availability_ttl)
-                table.subscribe(channel, client.node_id)
+                is_dispatcher_view = node.node_id >= n_servers + n_clients
+                if is_dispatcher_view and view_lag > 0.0:
+                    # Stale-view fault model: the dispatcher's view sees
+                    # every PUBLISH a constant ``view_lag`` late.
+                    channel.subscribe(
+                        node.node_id,
+                        lambda message, _table=table: self.sim.after(
+                            view_lag, _table._on_publish, message  # noqa: SLF001
+                        ),
+                    )
+                else:
+                    table.subscribe(channel, node.node_id)
                 # Prime the table so the first arrivals (before the first
-                # publish round lands) see the full membership.
+                # publish round lands) see the initially-active membership.
                 for server in self.servers:
+                    if scaler is not None and not scaler.is_active(server.node_id):
+                        continue
                     table._on_publish(  # noqa: SLF001 - controlled priming
                         Message(
                             MessageKind.PUBLISH,
                             server.node_id,
-                            client.node_id,
+                            node.node_id,
                             (server.node_id, ((DEFAULT_SERVICE, 0),), 0.0),
                             0,
                             0.0,
                         )
                     )
-                self.mapping_tables[client.node_id] = table
+                self.mapping_tables[node.node_id] = table
             for server in self.servers:
                 publisher = ServicePublisher(
                     self.sim,
@@ -287,7 +353,12 @@ class ServiceCluster:
                     rng=self.rng_hub.stream(f"availability.publish.{server.node_id}"),
                 )
                 self.publishers[server.node_id] = publisher
-                publisher.start()
+                # Parked (not-yet-provisioned) servers stay silent until
+                # the autoscaler activates them.
+                if scaler is None or scaler.is_active(server.node_id):
+                    publisher.start()
+            if scaler is not None:
+                scaler.install()
 
         # Overload-control subsystem (optional): one controller per
         # server, consulted by ServerNode.enqueue after the static
@@ -395,17 +466,40 @@ class ServiceCluster:
             filtered = [s for s in members if s != selecting.last_rejected_by]
             if filtered:
                 members = filtered
+        if self.dispatchers is not None:
+            members = self.dispatchers.filter_view(client.node_id, members)
         if self.reliability is not None:
             return list(self.reliability.filter_candidates(members))
         return members
 
+    def should_publish(self, node_id: int) -> bool:
+        """Whether server ``node_id`` may (re)start its availability
+        publisher right now.
+
+        Single source of truth for every publisher-restart site (crash
+        recovery, overload rejoin, autoscale activation): a dead server
+        must stay silent, an overload-withdrawn server re-advertises
+        only through its controller's own rejoin, and a server the
+        autoscaler has parked stays out of the pool even across a
+        crash/recover cycle.
+        """
+        server = self.servers[node_id]
+        if not server.alive:
+            return False
+        if server.overload is not None and server.overload.withdrawn:
+            return False
+        if self.autoscaler is not None and not self.autoscaler.is_active(node_id):
+            return False
+        return True
+
     def _make_rejoin(self, server: ServerNode, publisher: ServicePublisher):
         """Recovery callback for an overload-withdrawn server: resume
         publishing — unless the server crashed while withdrawn (the
-        chaos injector owns the publisher of a dead node)."""
+        chaos injector owns the publisher of a dead node) or the
+        autoscaler has parked it meanwhile."""
 
         def rejoin() -> None:
-            if server.alive:
+            if self.should_publish(server.node_id):
                 publisher.start()
 
         return rejoin
@@ -414,6 +508,28 @@ class ServiceCluster:
         """The client node that originated ``request`` (node ids for
         clients continue after server ids)."""
         return self.clients[(request.client_id - self.n_servers) % self.n_clients]
+
+    @property
+    def selector_agents(self) -> list[ClientNode]:
+        """The nodes that run ``policy.select`` and hold per-selector
+        policy state: the dispatcher agents when the tier is on, the
+        clients themselves otherwise. Policies that keep local state
+        (broadcast tables, JIQ idle queues, least-connections counters)
+        set up and address state through this list, never
+        ``self.clients`` directly."""
+        if self.dispatchers is not None:
+            return [d.agent for d in self.dispatchers.dispatchers]
+        return self.clients
+
+    def selector_for(self, request: Request) -> ClientNode:
+        """The selector node whose policy state should absorb a
+        lifecycle notification for ``request``: the handling dispatcher
+        agent when the tier routed it, else the originating client."""
+        if self.dispatchers is not None:
+            agent = self.dispatchers.selector_agent(request)
+            if agent is not None:
+                return agent
+        return self.client_for(request)
 
     @property
     def reselect_delay(self) -> float:
@@ -607,6 +723,12 @@ class ServiceCluster:
         from repro.core.base import NoCandidatesError
 
         self._arm_attempt_timeout(request)
+        if self.dispatchers is not None:
+            # Dispatcher tier: the selection happens at the assigned
+            # dispatcher, one FORWARD hop away; the timeout armed above
+            # covers the hop + remote selection + dispatch.
+            self.dispatchers.route(client, request)
+            return
         self._selecting_request = request
         try:
             self.policy.select(client, request)
@@ -666,6 +788,8 @@ class ServiceCluster:
                 return
             # Naive path (no overload controller): instant local retry
             # (counts against max_retries).
+            if self.dispatchers is not None:
+                self.dispatchers.on_server_reject(request, server.node_id)
             if self.reliability is not None:
                 self.reliability.on_reject(request, server.node_id)
             handle = self._timeout_handles.pop(request.index, None)
@@ -689,11 +813,29 @@ class ServiceCluster:
         handle = self._timeout_handles.pop(request.index, None)
         if handle is not None:
             self.sim.cancel(handle)
+        if self.dispatchers is not None:
+            self.dispatchers.on_server_reject(request, message.src)
         if self.reliability is not None:
             self.reliability.on_reject(request, message.src)
         self._retry(request)
 
     def _on_server_complete(self, server: ServerNode, request: Request) -> None:
+        if self.dispatchers is not None:
+            # Tier-routed requests return through their dispatcher so it
+            # observes the completion (admission/breaker signals); a
+            # dead dispatcher loses the response and the client's
+            # attempt timeout recovers. Hedge clones (dispatcher_id
+            # == -1) keep the direct server→client path.
+            dispatcher = self.dispatchers.backhaul_target(request)
+            if dispatcher is not None:
+                self.network.send(
+                    MessageKind.RESPONSE,
+                    server.node_id,
+                    dispatcher.node_id,
+                    request,
+                    self.dispatchers._deliver_backhaul,  # noqa: SLF001
+                )
+                return
         self.network.send(
             MessageKind.RESPONSE,
             server.node_id,
@@ -732,8 +874,15 @@ class ServiceCluster:
         if self.telemetry is not None:
             self.telemetry.on_request_complete(request)
         self._completed += 1
-        client = self.client_for(request)
-        self.policy.notify_complete(client, request)
+        if self.dispatchers is not None:
+            self.dispatchers.release(request)
+        if self.autoscaler is not None:
+            self.autoscaler.on_complete(request)
+        # Completion notifications go to the selector that dispatched —
+        # the dispatcher agent under the tier, the client otherwise —
+        # so per-selector policy state (least-connections counters, ...)
+        # is decremented where it was incremented.
+        self.policy.notify_complete(self.selector_for(request), request)
         if self.reliability is not None:
             self.reliability.on_complete(request, winner)
         if self._completed >= self.n_requests and self._runner_active:
@@ -744,6 +893,8 @@ class ServiceCluster:
         if request.done:
             return
         self.request_timeouts_fired += 1
+        if self.dispatchers is not None:
+            self.dispatchers.on_attempt_timeout(request)
         if self.reliability is not None:
             self.reliability.on_attempt_failure(request)
         self._retry(request)
@@ -786,6 +937,10 @@ class ServiceCluster:
             self.metrics.record(request)
             if self.telemetry is not None:
                 self.telemetry.on_request_complete(request)
+            if self.dispatchers is not None:
+                self.dispatchers.release(request)
+            if self.autoscaler is not None:
+                self.autoscaler.on_failure(request)
             if self.reliability is not None:
                 self.reliability.on_terminal(request)
             self._completed += 1

@@ -52,7 +52,7 @@ class BroadcastPolicy(LoadBalancer):
         from repro.net.transport import BroadcastChannel
 
         self._channel = BroadcastChannel(ctx.network)
-        for client in ctx.clients:
+        for client in ctx.selector_agents:
             client.state[_TABLE_KEY] = np.zeros(ctx.n_servers)
             client.state[_TABLE_TIME_KEY] = np.zeros(ctx.n_servers)
             self._channel.subscribe(

@@ -39,7 +39,7 @@ class JoinIdleQueuePolicy(LoadBalancer):
     def _setup(self) -> None:
         ctx = self.ctx
         self._rng = ctx.rng("policy.jiq")
-        for client in ctx.clients:
+        for client in ctx.selector_agents:
             client.state[_IDLE_KEY] = deque()
         self._next_dispatcher = 0
         for server in ctx.servers:
@@ -50,7 +50,8 @@ class JoinIdleQueuePolicy(LoadBalancer):
         """Server went idle: report to one dispatcher, round robin."""
         if not server.alive:
             return
-        client = self.ctx.clients[self._next_dispatcher % len(self.ctx.clients)]
+        agents = self.ctx.selector_agents
+        client = agents[self._next_dispatcher % len(agents)]
         self._next_dispatcher += 1
         self.idle_reports_sent += 1
         self.ctx.network.send(

@@ -24,7 +24,7 @@ class LeastConnectionsPolicy(LoadBalancer):
 
     def _setup(self) -> None:
         self._rng = self.ctx.rng("policy.least_connections.ties")
-        for client in self.ctx.clients:
+        for client in self.ctx.selector_agents:
             client.state[_COUNTS_KEY] = np.zeros(self.ctx.n_servers, dtype=np.int64)
 
     def select(self, client, request) -> None:

@@ -41,7 +41,7 @@ class GlobalSnapshotPolicy(LoadBalancer):
         self._snapshot = np.zeros(ctx.n_servers)
         self._snapshot_time = 0.0
         if self.local_increment:
-            for client in ctx.clients:
+            for client in ctx.selector_agents:
                 client.state[_LOCAL_KEY] = self._snapshot.copy()
         ctx.sim.after(self.update_interval, self._refresh)
 
@@ -52,7 +52,7 @@ class GlobalSnapshotPolicy(LoadBalancer):
         self._snapshot_time = ctx.sim.now
         self.refreshes += 1
         if self.local_increment:
-            for client in ctx.clients:
+            for client in ctx.selector_agents:
                 np.copyto(client.state[_LOCAL_KEY], self._snapshot)
         ctx.sim.after(self.update_interval, self._refresh)
 

@@ -42,6 +42,11 @@ _CHAOS_PARAM_KEYS = frozenset(
         "storms",
         "storm_size",
         "storm_frac",
+        "dispatcher_storms",
+        "dispatcher_storm_size",
+        "dispatcher_storm_frac",
+        "dispatcher_partitions",
+        "dispatcher_partition_frac",
     }
 )
 
@@ -78,6 +83,40 @@ _OVERLOAD_PARAM_KEYS = frozenset(
         "shed_jitter",
         "fast_reject",
         "withdraw_after",
+    }
+)
+
+#: literal mirror of :class:`repro.cluster.dispatcher.DispatcherPolicy`
+#: field names (cross-checked against the dataclass by a unit test)
+_DISPATCHER_PARAM_KEYS = frozenset(
+    {
+        "count",
+        "assignment",
+        "suspect_cooldown",
+        "view_lag",
+        "admit_sojourn_target",
+        "admit_interval",
+        "admit_ewma_alpha",
+        "breaker_threshold",
+        "breaker_cooldown",
+    }
+)
+
+#: literal mirror of :class:`repro.cluster.autoscaler.AutoscalerPolicy`
+#: field names (cross-checked against the dataclass by a unit test)
+_AUTOSCALER_PARAM_KEYS = frozenset(
+    {
+        "interval",
+        "min_servers",
+        "max_servers",
+        "initial_servers",
+        "shed_high",
+        "p95_high",
+        "util_low",
+        "ewma_alpha",
+        "step_up",
+        "step_down",
+        "cooldown",
     }
 )
 
@@ -134,6 +173,19 @@ class SimulationConfig:
     controllers for the run; an empty dict (the default) keeps every
     path bit-identical to pre-overload builds (DESIGN.md §12). Like the
     other param dicts, it participates in the result-cache key.
+
+    ``dispatcher_params`` — :class:`repro.cluster.dispatcher.
+    DispatcherPolicy` knobs (tier size, client→dispatcher assignment,
+    failover suspicion, tier admission, per-dispatcher breakers, stale
+    view lag) — routes every request through a fault-tolerant
+    dispatcher tier instead of direct client→server selection; an empty
+    dict (the default) keeps every path bit-identical to pre-tier
+    builds (DESIGN.md §16). ``autoscaler_params`` — :class:`repro.
+    cluster.autoscaler.AutoscalerPolicy` knobs (control interval,
+    size bounds, shed/p95/utilization thresholds) — installs the
+    closed-loop autoscaler, which requires the availability subsystem
+    (scale actions actuate via publish/withdrawal). Both participate in
+    the result-cache key.
     """
 
     policy: str = "polling"
@@ -158,6 +210,8 @@ class SimulationConfig:
     telemetry: dict[str, Any] = field(default_factory=dict)
     reliability_params: dict[str, Any] = field(default_factory=dict)
     overload_params: dict[str, Any] = field(default_factory=dict)
+    dispatcher_params: dict[str, Any] = field(default_factory=dict)
+    autoscaler_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -194,6 +248,18 @@ class SimulationConfig:
                 f"unknown overload_params key(s): {sorted(unknown)} "
                 f"(allowed: {sorted(_OVERLOAD_PARAM_KEYS)})"
             )
+        unknown = set(self.dispatcher_params) - _DISPATCHER_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown dispatcher_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_DISPATCHER_PARAM_KEYS)})"
+            )
+        unknown = set(self.autoscaler_params) - _AUTOSCALER_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown autoscaler_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_AUTOSCALER_PARAM_KEYS)})"
+            )
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")
         if self.n_requests < 10:
@@ -216,7 +282,9 @@ class SimulationConfig:
         chaos = " +chaos" if self.chaos_params else ""
         hardened = " +reliability" if self.reliability_params else ""
         shedding = " +overload" if self.overload_params else ""
+        tier = " +dispatchers" if self.dispatcher_params else ""
+        scaling = " +autoscale" if self.autoscaler_params else ""
         return (
             f"{self.policy}({params}) {self.workload} load={self.load:.0%} "
-            f"[{self.model}]{chaos}{hardened}{shedding}"
+            f"[{self.model}]{chaos}{hardened}{shedding}{tier}{scaling}"
         )

@@ -546,6 +546,55 @@ def overload_goodput(
     )
 
 
+def autoscale_efficiency(
+    n_requests: int = 4_000,
+    n_servers: int = 16,
+    seed: int = 0,
+    offered_loads: Optional[Sequence[float]] = None,
+    quick: bool = False,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache=None,
+    engine: Optional[str] = None,
+    archive: Optional[str] = None,
+) -> FigureData:
+    """Autoscale campaign: goodput vs provisioning cost behind a
+    fault-tolerant dispatcher tier.
+
+    Runs the policy × offered-load × dispatcher-fault grid twice — a
+    statically provisioned worst-case pool and the closed-loop
+    autoscaler (:mod:`repro.cluster.autoscaler`), both behind the
+    failover dispatcher tier (:mod:`repro.cluster.dispatcher`) — under
+    identical MMPP arrival schedules, and reports goodput, mean active
+    pool size, and goodput-per-provisioned-server per cell (DESIGN.md
+    §16, EXPERIMENTS.md goodput-vs-provisioning-cost section).
+    """
+    from repro.experiments.autoscale import (
+        DEFAULT_AUTOSCALE_LOADS,
+        autoscale_campaign,
+    )
+
+    report = autoscale_campaign(
+        offered_loads=(
+            DEFAULT_AUTOSCALE_LOADS if offered_loads is None else offered_loads
+        ),
+        n_requests=n_requests,
+        n_servers=n_servers,
+        seed=seed,
+        quick=quick,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache=cache,
+        engine=engine,
+        archive=archive,
+    )
+    return FigureData(
+        "Autoscaling: goodput vs provisioning cost, static vs closed-loop",
+        report.table,
+        extras={"report": report, "comparison": report.mode_comparison()},
+    )
+
+
 def message_scaling_section24(
     workload: str = "poisson_exp",
     load: float = 0.9,

@@ -166,6 +166,54 @@ def parity_suite(
             },
         )
     )
+    # dispatcher tier + autoscaler path: tier forward/backhaul routing,
+    # failover suspicion, dispatcher crash storms, and closed-loop
+    # scale up/down actuating through publish/withdrawal — chaos draws,
+    # control-loop timers, and drain completions must order identically
+    # per engine
+    from repro.experiments.autoscale import (
+        autoscale_cluster_params,
+        autoscale_dispatcher_params,
+        autoscale_scaling_params,
+        autoscale_workload_params,
+    )
+
+    autoscale_base = SimulationConfig(
+        workload="mmpp_exp",
+        workload_params=autoscale_workload_params(),
+        n_servers=n_servers,
+        n_requests=n_requests,
+        seed=seed,
+        load=2.0,
+        cluster_params=autoscale_cluster_params(),
+        overload_params=overload_control_params(),
+        dispatcher_params=autoscale_dispatcher_params(),
+        autoscaler_params=autoscale_scaling_params(n_servers),
+    )
+    configs.append(
+        autoscale_base.with_updates(
+            policy="random",
+            chaos_params={
+                "dispatcher_storms": 2,
+                "dispatcher_storm_size": 1,
+                "dispatcher_storm_frac": 0.25,
+            },
+        )
+    )
+    # tier admission + per-dispatcher breakers + stale mapping views on
+    # a selector policy with per-dispatcher local state
+    configs.append(
+        autoscale_base.with_updates(
+            policy="least_connections",
+            dispatcher_params={
+                **autoscale_dispatcher_params(),
+                "view_lag": 0.15,
+                "admit_sojourn_target": 0.2,
+                "breaker_threshold": 8,
+                "breaker_cooldown": 0.5,
+            },
+        )
+    )
     return configs
 
 

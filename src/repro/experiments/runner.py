@@ -165,6 +165,16 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         from repro.cluster.overload import OverloadPolicy
 
         overload = OverloadPolicy(**config.overload_params)
+    dispatcher = None
+    if config.dispatcher_params:
+        from repro.cluster.dispatcher import DispatcherPolicy
+
+        dispatcher = DispatcherPolicy(**config.dispatcher_params)
+    autoscaler = None
+    if config.autoscaler_params:
+        from repro.cluster.autoscaler import AutoscalerPolicy
+
+        autoscaler = AutoscalerPolicy(**config.autoscaler_params)
     cluster = ServiceCluster(
         n_servers=config.n_servers,
         policy=policy,
@@ -176,6 +186,8 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         engine=config.engine,
         reliability=reliability,
         overload=overload,
+        dispatcher=dispatcher,
+        autoscaler=autoscaler,
         **config.cluster_params,
     )
     cluster.load_workload(gaps, services)
@@ -271,6 +283,10 @@ def _hardening_counters(cluster) -> dict[str, float]:
         counters.update(cluster.reliability.counters())
     if cluster.overload is not None:
         counters.update(cluster.overload_counters())
+    if cluster.dispatchers is not None:
+        counters.update(cluster.dispatchers.counters())
+    if cluster.autoscaler is not None:
+        counters.update(cluster.autoscaler.counters())
     return counters
 
 

@@ -46,8 +46,10 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.config import (
+    _AUTOSCALER_PARAM_KEYS,
     _CHAOS_PARAM_KEYS,
     _CLUSTER_PARAM_KEYS,
+    _DISPATCHER_PARAM_KEYS,
     _OVERLOAD_PARAM_KEYS,
     _RELIABILITY_PARAM_KEYS,
     _TELEMETRY_PARAM_KEYS,
@@ -68,6 +70,7 @@ __all__ = [
     "ScenarioError",
     "ScenarioReport",
     "ScenarioSpec",
+    "SpeedAxis",
     "WorkloadAxis",
     "composed_spec",
     "load_spec",
@@ -78,7 +81,9 @@ __all__ = [
 _ENGINES = ("heap", "calendar", "fast")
 
 #: SimulationConfig fields a spec may set via ``config_overrides``
-#: (everything not already owned by an axis or a spec scalar)
+#: (everything not already owned by an axis or a spec scalar; note
+#: ``server_speeds`` here conflicts with a non-degenerate ``speeds``
+#: axis — the axis owns heterogeneity when present)
 _OVERRIDE_FIELDS = frozenset(
     {
         "n_clients",
@@ -128,7 +133,8 @@ class WorkloadAxis:
 
 @dataclass(frozen=True)
 class ModeAxis:
-    """One subsystem mode: reliability/overload/telemetry knob sets.
+    """One subsystem mode: reliability/overload/telemetry/dispatcher/
+    autoscaler knob sets.
 
     An all-empty mode is the naive baseline — per the repo invariant,
     it runs bit-identical to a pre-subsystem build.
@@ -138,6 +144,8 @@ class ModeAxis:
     reliability: dict[str, Any] = field(default_factory=dict)
     overload: dict[str, Any] = field(default_factory=dict)
     telemetry: dict[str, Any] = field(default_factory=dict)
+    dispatcher: dict[str, Any] = field(default_factory=dict)
+    autoscaler: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -161,6 +169,25 @@ class ScaleAxis:
 
 
 @dataclass(frozen=True)
+class SpeedAxis:
+    """One server-speed profile (heterogeneity ablation).
+
+    ``speeds=None`` is the homogeneous default (every server at speed
+    1.0 — the exact legacy configuration); otherwise one positive
+    factor per server, length-checked against every scale in the spec.
+    """
+
+    label: str
+    speeds: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.speeds is not None:
+            object.__setattr__(
+                self, "speeds", tuple(float(v) for v in self.speeds)
+            )
+
+
+@dataclass(frozen=True)
 class ScenarioCell:
     """One expanded grid point: axis labels + the runnable config."""
 
@@ -172,6 +199,7 @@ class ScenarioCell:
     scale: str
     fault_value: Optional[float]
     config: SimulationConfig
+    speed: str = ""
 
 
 def _coerce(axis: str, entries: Sequence, factory: Callable, kind: type) -> tuple:
@@ -225,13 +253,16 @@ class ScenarioSpec:
     """A declarative experiment grid.
 
     Cells expand in fixed nesting order — mode, workload, policy, load,
-    fault, scale (outer to inner) — so reports group naturally and the
-    legacy campaigns reproduce their historical result ordering.
+    fault, scale, speed (outer to inner) — so reports group naturally
+    and the legacy campaigns reproduce their historical result ordering
+    (the degenerate default ``speeds`` axis adds no loop iterations and
+    leaves every legacy label and config byte-identical).
 
     ``label_format`` builds each cell's config label (and hence its
     archive/cache identity) from the placeholders ``{scenario}``,
     ``{workload}``, ``{policy}``, ``{load}``, ``{mode}``, ``{fault}``,
-    ``{scale}``, ``{n_servers}``, ``{n_requests}``, and ``{seed}``;
+    ``{scale}``, ``{speed}``, ``{n_servers}``, ``{n_requests}``, and
+    ``{seed}``;
     surplus whitespace from empty labels is collapsed. Two cells that
     expand to identical configs (same label *and* same knobs) are
     rejected — every cell must be separately cache-addressable.
@@ -244,6 +275,7 @@ class ScenarioSpec:
     modes: tuple[ModeAxis, ...] = (ModeAxis(""),)
     faults: tuple[FaultAxis, ...] = (FaultAxis(""),)
     scales: tuple[ScaleAxis, ...] = (ScaleAxis(""),)
+    speeds: tuple[SpeedAxis, ...] = (SpeedAxis(""),)
     n_servers: int = 16
     n_requests: int = 4_000
     seed: int = 0
@@ -268,6 +300,9 @@ class ScenarioSpec:
         object.__setattr__(
             self, "scales", _coerce("scales", self.scales, ScaleAxis, ScaleAxis)
         )
+        object.__setattr__(
+            self, "speeds", _coerce("speeds", self.speeds, SpeedAxis, SpeedAxis)
+        )
         object.__setattr__(self, "loads", tuple(float(v) for v in self.loads))
 
     # ------------------------------------------------------------------
@@ -291,6 +326,7 @@ class ScenarioSpec:
             ("modes", self.modes),
             ("faults", self.faults),
             ("scales", self.scales),
+            ("speeds", self.speeds),
         ):
             if not entries:
                 raise ScenarioError(axis, "must not be empty")
@@ -299,6 +335,7 @@ class ScenarioSpec:
         _unique_labels("modes", [m.label for m in self.modes])
         _unique_labels("faults", [f.label for f in self.faults])
         _unique_labels("scales", [s.label for s in self.scales])
+        _unique_labels("speeds", [s.label for s in self.speeds])
         if len(set(self.loads)) != len(self.loads):
             raise ScenarioError("loads", f"duplicate load in {list(self.loads)}")
         for load in self.loads:
@@ -344,6 +381,8 @@ class ScenarioSpec:
             _check_keys("modes", m.label, "reliability", m.reliability, _RELIABILITY_PARAM_KEYS)
             _check_keys("modes", m.label, "overload", m.overload, _OVERLOAD_PARAM_KEYS)
             _check_keys("modes", m.label, "telemetry", m.telemetry, _TELEMETRY_PARAM_KEYS)
+            _check_keys("modes", m.label, "dispatcher", m.dispatcher, _DISPATCHER_PARAM_KEYS)
+            _check_keys("modes", m.label, "autoscaler", m.autoscaler, _AUTOSCALER_PARAM_KEYS)
         for f in self.faults:
             _check_keys("faults", f.label, "chaos", f.chaos, _CHAOS_PARAM_KEYS)
         _check_keys("cluster_params", "", "cluster", self.cluster_params, _CLUSTER_PARAM_KEYS)
@@ -362,6 +401,31 @@ class ScenarioSpec:
                 raise ScenarioError(
                     "scales", f"n_requests must be >= 10, got {n_requests}", entry=s.label
                 )
+
+        heterogeneous = [sp for sp in self.speeds if sp.speeds is not None]
+        if heterogeneous and "server_speeds" in self.config_overrides:
+            raise ScenarioError(
+                "speeds",
+                "a heterogeneous speeds axis conflicts with "
+                "config_overrides.server_speeds; use one or the other",
+            )
+        for sp in heterogeneous:
+            if any(v <= 0 for v in sp.speeds):
+                raise ScenarioError(
+                    "speeds",
+                    f"speed factors must be > 0, got {list(sp.speeds)}",
+                    entry=sp.label,
+                )
+            for s in self.scales:
+                n_servers = s.n_servers if s.n_servers is not None else self.n_servers
+                if len(sp.speeds) != n_servers:
+                    raise ScenarioError(
+                        "speeds",
+                        f"{len(sp.speeds)} speed factors but scale "
+                        f"{s.label or '<default>'} has {n_servers} servers "
+                        "(one factor per server)",
+                        entry=sp.label,
+                    )
 
         if self.engine == "fast":
             self._validate_fast()
@@ -384,6 +448,8 @@ class ScenarioSpec:
                 ("reliability", m.reliability),
                 ("overload", m.overload),
                 ("telemetry", m.telemetry),
+                ("dispatcher", m.dispatcher),
+                ("autoscaler", m.autoscaler),
             ):
                 if params:
                     raise ScenarioError(
@@ -392,6 +458,14 @@ class ScenarioSpec:
                         "use an exact engine (heap/calendar)",
                         entry=m.label,
                     )
+        for sp in self.speeds:
+            if sp.speeds is not None:
+                raise ScenarioError(
+                    "speeds",
+                    "engine 'fast' cannot run heterogeneous server speeds; "
+                    "use an exact engine (heap/calendar)",
+                    entry=sp.label,
+                )
         for f in self.faults:
             if f.chaos:
                 raise ScenarioError(
@@ -434,23 +508,26 @@ class ScenarioSpec:
                     for load in self.loads:
                         for fault in self.faults:
                             for scale in self.scales:
-                                cells.append(
-                                    self._cell(mode, wl, policy, load, fault, scale)
-                                )
-                                config = cells[-1].config
-                                key = json.dumps(
-                                    asdict(config), sort_keys=True, default=list
-                                )
-                                if key in seen:
-                                    raise ScenarioError(
-                                        "label_format",
-                                        f"cells {seen[key]!r} and "
-                                        f"{config.label!r} expand to identical "
-                                        "configs; include the distinguishing "
-                                        "axis placeholder in label_format or "
-                                        "drop the duplicate axis entry",
+                                for speed in self.speeds:
+                                    cells.append(
+                                        self._cell(
+                                            mode, wl, policy, load, fault, scale, speed
+                                        )
                                     )
-                                seen[key] = config.label
+                                    config = cells[-1].config
+                                    key = json.dumps(
+                                        asdict(config), sort_keys=True, default=list
+                                    )
+                                    if key in seen:
+                                        raise ScenarioError(
+                                            "label_format",
+                                            f"cells {seen[key]!r} and "
+                                            f"{config.label!r} expand to identical "
+                                            "configs; include the distinguishing "
+                                            "axis placeholder in label_format or "
+                                            "drop the duplicate axis entry",
+                                        )
+                                    seen[key] = config.label
         return cells
 
     def _cell(
@@ -461,6 +538,7 @@ class ScenarioSpec:
         load: float,
         fault: FaultAxis,
         scale: ScaleAxis,
+        speed: SpeedAxis = SpeedAxis(""),
     ) -> ScenarioCell:
         n_servers = scale.n_servers if scale.n_servers is not None else self.n_servers
         n_requests = scale.n_requests if scale.n_requests is not None else self.n_requests
@@ -471,6 +549,7 @@ class ScenarioSpec:
             mode=mode.label,
             fault=fault.label,
             scale=scale.label,
+            speed=speed.label,
             n_servers=n_servers,
             n_requests=n_requests,
             seed=self.seed,
@@ -495,6 +574,9 @@ class ScenarioSpec:
                 raise ScenarioError(
                     "workloads", f"cell {label!r}: replay_file {path!r}: {err}"
                 ) from None
+        overrides = dict(self.config_overrides)
+        if speed.speeds is not None:
+            overrides["server_speeds"] = tuple(speed.speeds)
         try:
             config = SimulationConfig(
                 policy=policy.policy,
@@ -510,9 +592,11 @@ class ScenarioSpec:
                 chaos_params=dict(fault.chaos),
                 reliability_params=dict(mode.reliability),
                 overload_params=dict(mode.overload),
+                dispatcher_params=dict(mode.dispatcher),
+                autoscaler_params=dict(mode.autoscaler),
                 telemetry=dict(mode.telemetry),
                 label=label,
-                **self.config_overrides,
+                **overrides,
             )
         except (TypeError, ValueError) as err:
             raise ScenarioError("spec", f"cell {label!r}: {err}") from None
@@ -525,6 +609,7 @@ class ScenarioSpec:
             scale=scale.label,
             fault_value=fault.value,
             config=config,
+            speed=speed.label,
         )
 
     # ------------------------------------------------------------------
@@ -580,7 +665,7 @@ def run_cells(
 
 #: axis-label columns, in display order (degenerate unlabeled axes are
 #: dropped from the table)
-_AXIS_COLUMNS = ("mode", "workload", "policy", "load", "fault", "scale")
+_AXIS_COLUMNS = ("mode", "workload", "policy", "load", "fault", "scale", "speed")
 
 _METRIC_COLUMNS = (
     "mean_ms",
@@ -651,7 +736,14 @@ class ScenarioReport:
         baseline_mode = self.spec.modes[0].label
         by_mode: dict[str, dict[tuple, dict]] = {}
         for cell, row in zip(self.cells, self.table.rows):
-            key = (cell.workload, cell.policy, cell.load, cell.fault, cell.scale)
+            key = (
+                cell.workload,
+                cell.policy,
+                cell.load,
+                cell.fault,
+                cell.scale,
+                cell.speed,
+            )
             by_mode.setdefault(cell.mode, {})[key] = row
         baseline = by_mode.get(baseline_mode)
         if not baseline:
@@ -697,6 +789,7 @@ _SPEC_KEYS = frozenset(
         "modes",
         "faults",
         "scales",
+        "speeds",
         "n_servers",
         "n_requests",
         "seed",
@@ -938,6 +1031,8 @@ def composed_spec(
         PolicyAxis("random", "random"),
         PolicyAxis("polling-3", "polling", {"poll_size": 3, "discard_slow": True}),
         PolicyAxis("broadcast-50ms", "broadcast", {"mean_interval": 0.05}),
+        PolicyAxis("jiq", "jiq"),
+        PolicyAxis("least-conn", "least_connections"),
     )
     scales = (
         ScaleAxis("8s", 8, max(200, n_requests // 2)),

@@ -187,6 +187,11 @@ class LiveCluster(asyncio.DatagramProtocol):
         self.telemetry = None
         self.chaos = None
         self.reliability = None
+        # The live runtime has no dispatcher tier or autoscaler; the
+        # clients themselves are the selector agents (policies address
+        # per-selector state through this attribute).
+        self.dispatchers = None
+        self.autoscaler = None
         if reliability is not None and reliability.enabled:
             if reliability.hedge_quantile is not None:
                 raise ValueError(
@@ -282,6 +287,12 @@ class LiveCluster(asyncio.DatagramProtocol):
     def client_for(self, request: Request) -> ClientNode:
         base = self.clients[0].node_id
         return self.clients[(request.client_id - base) % self.n_clients]
+
+    @property
+    def selector_agents(self) -> list:
+        """Policy-state owners (sim convention): no dispatcher tier in
+        the live runtime, so the clients select for themselves."""
+        return self.clients
 
     @property
     def reselect_delay(self) -> float:

@@ -19,6 +19,7 @@ class MessageKind(str, Enum):
     REQUEST = "request"
     RESPONSE = "response"
     REJECT = "reject"
+    FORWARD = "forward"
     POLL = "poll"
     POLL_REPLY = "poll_reply"
     BROADCAST = "broadcast"
@@ -66,6 +67,7 @@ DEFAULT_SIZES: dict[MessageKind, int] = {
     MessageKind.REQUEST: 512,
     MessageKind.RESPONSE: 1024,
     MessageKind.REJECT: 64,
+    MessageKind.FORWARD: 512,
     MessageKind.POLL: 64,
     MessageKind.POLL_REPLY: 64,
     MessageKind.BROADCAST: 64,

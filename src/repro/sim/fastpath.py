@@ -107,6 +107,10 @@ def fastpath_violations(config: "SimulationConfig") -> list[str]:
         violations.append("reliability_params (timeouts/backoff/hedging)")
     if config.overload_params:
         violations.append("overload_params (admission control)")
+    if config.dispatcher_params:
+        violations.append("dispatcher_params (dispatcher-tier routing)")
+    if config.autoscaler_params:
+        violations.append("autoscaler_params (closed-loop scaling)")
     return violations
 
 

@@ -42,6 +42,8 @@ def test_parity_suite_shape():
     assert any(c.policy_params.get("discard_slow") for c in suite)
     # Hedge timers + breaker filtering must also be engine-invariant.
     assert any(c.reliability_params for c in suite)
+    # Dispatcher-tier routing and autoscaler control ticks too.
+    assert any(c.dispatcher_params and c.autoscaler_params for c in suite)
 
 
 def test_single_config_bit_identical():

@@ -18,6 +18,7 @@ from repro.experiments.scenario import (
     ScenarioError,
     ScenarioReport,
     ScenarioSpec,
+    SpeedAxis,
     WorkloadAxis,
     composed_spec,
     load_spec,
@@ -145,6 +146,19 @@ def test_expansion_is_deterministic_and_cache_key_stable():
         (dict(engine="quantum"), "engine", "one of"),
         (dict(scales=(ScaleAxis("s", n_servers=0),)), "scales", "n_servers"),
         (dict(label_format="{bogus}"), "label_format", "bad format"),
+        (dict(speeds=()), "speeds", "empty"),
+        (dict(speeds=(SpeedAxis("s", (1.0, -2.0)),)), "speeds", "> 0"),
+        (dict(speeds=(SpeedAxis("a"), SpeedAxis("a"))), "speeds", "duplicate"),
+        (dict(speeds=(SpeedAxis("skew", (1.0, 2.0)),),
+              config_overrides={"server_speeds": (1.0, 1.0)}),
+         "speeds", "conflicts"),
+        (dict(speeds=(SpeedAxis("skew", (1.0, 2.0)),),
+              scales=(ScaleAxis("s", n_servers=4),)),
+         "speeds", "speed factors"),
+        (dict(modes=(ModeAxis("m", dispatcher={"bogus": 1}),)), "modes",
+         "dispatcher"),
+        (dict(modes=(ModeAxis("m", autoscaler={"bogus": 1}),)), "modes",
+         "autoscaler"),
     ],
 )
 def test_validation_errors_name_the_axis(kwargs, axis, fragment):
@@ -167,6 +181,16 @@ def test_fast_engine_rejects_subsystem_modes_naming_the_axis():
     with pytest.raises(ScenarioError) as err:
         ScenarioSpec(policies=(PolicyAxis("jiq", "jiq"),), **base).expand()
     assert err.value.axis == "policies"
+    with pytest.raises(ScenarioError) as err:
+        ScenarioSpec(
+            modes=(ModeAxis("m", dispatcher={"count": 2}),), **base
+        ).expand()
+    assert err.value.axis == "modes"
+    with pytest.raises(ScenarioError) as err:
+        ScenarioSpec(
+            speeds=(SpeedAxis("skew", (1.0, 2.0) * 8),), **base
+        ).expand()
+    assert err.value.axis == "speeds"
     # a plain fast-compatible grid is fine
     assert len(ScenarioSpec(n_requests=100, engine="fast").expand()) == 1
 
@@ -336,6 +360,71 @@ def test_composed_spec_includes_replay_scales_and_modes():
     cells = spec.expand()
     assert len(cells) == 32
     assert any("replay-bursty" in c.config.label for c in cells)
+
+
+def test_composed_spec_full_grid_includes_modern_policies():
+    spec = composed_spec(n_requests=400)
+    names = {p.policy for p in spec.policies}
+    assert {"jiq", "least_connections"} <= names
+    assert len(spec.expand()) == 120
+
+
+# ----------------------------------------------------------------------
+# speeds axis
+# ----------------------------------------------------------------------
+
+def test_speed_axis_expands_innermost_with_labels_and_overrides():
+    spec = ScenarioSpec(
+        loads=(0.5, 0.9),
+        speeds=(SpeedAxis("uniform"), SpeedAxis("skewed", (2.0, 1.0, 1.0, 0.5))),
+        n_requests=100,
+        n_servers=4,
+        label_format="{scenario} {policy} L={load:g} {speed}",
+    )
+    cells = spec.expand()
+    assert len(cells) == 4
+    # innermost axis: speed varies fastest
+    assert [c.speed for c in cells] == ["uniform", "skewed"] * 2
+    uniform, skewed = cells[0].config, cells[1].config
+    assert uniform.server_speeds is None
+    assert skewed.server_speeds == (2.0, 1.0, 1.0, 0.5)
+    assert skewed.label.endswith("skewed")
+    # heterogeneous cells never collide with homogeneous ones in cache
+    assert config_key(uniform) != config_key(skewed)
+
+
+def test_speed_axis_coerces_factors_to_floats():
+    axis = SpeedAxis("mixed", (2, 1, 1))
+    assert axis.speeds == (2.0, 1.0, 1.0)
+    assert all(isinstance(v, float) for v in axis.speeds)
+
+
+def test_degenerate_speed_axis_keeps_legacy_labels():
+    base = ScenarioSpec(n_requests=100)
+    assert [c.config.label for c in base.expand()] == [
+        c.config.label
+        for c in ScenarioSpec(n_requests=100, speeds=(SpeedAxis(""),)).expand()
+    ]
+
+
+def test_mode_axis_dispatcher_and_autoscaler_reach_config():
+    spec = ScenarioSpec(
+        modes=(
+            ModeAxis("plain"),
+            ModeAxis(
+                "tiered",
+                dispatcher={"count": 2, "assignment": "failover"},
+                autoscaler={"interval": 0.1},
+            ),
+        ),
+        n_requests=100,
+        cluster_params={"availability": True},
+    )
+    plain, tiered = [c.config for c in spec.expand()]
+    assert plain.dispatcher_params == {} and plain.autoscaler_params == {}
+    assert tiered.dispatcher_params == {"count": 2, "assignment": "failover"}
+    assert tiered.autoscaler_params == {"interval": 0.1}
+    assert config_key(plain) != config_key(tiered)
 
 
 # ----------------------------------------------------------------------
