@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke autoscale-smoke scenario-smoke serve-smoke examples figures clean
+.PHONY: install test test-fast bench bench-quick bench-smoke scale-smoke chaos-smoke telemetry-smoke resilience-smoke overload-smoke autoscale-smoke scenario-smoke fuzz-smoke serve-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -82,6 +82,17 @@ scenario-smoke:
 	$(PYTHON) -m repro scenario --quick --seed 0
 	$(PYTHON) -m repro scenario --quick --seed 0
 
+# Invariant-oracle smoke (<90s): validate the committed reproducer
+# corpus, replay it on both engines, then run 100 fuzzer-generated
+# fault schedules under the oracle (exits nonzero on any violation,
+# deadlock, or cross-engine divergence; shrunk reproducers land in
+# .fuzz-findings/ for triage).
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --validate
+	for spec in tests/verify/corpus/*.json; do \
+		$(PYTHON) -m repro fuzz --replay $$spec || exit 1; done
+	$(PYTHON) -m repro fuzz --seed 0 --budget 100
+
 # Live loopback smoke (<60s): boots a standalone server node for a
 # couple of seconds, then runs the quick sim-vs-real poll-size ladder —
 # real asyncio UDP servers + client agents over loopback, spin-mode
@@ -112,5 +123,5 @@ figures:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/output build *.egg-info src/*.egg-info
-	rm -rf .repro-cache BENCH_engine.json BENCH_engines.json BENCH_scale.json .telemetry-smoke
+	rm -rf .repro-cache BENCH_engine.json BENCH_engines.json BENCH_scale.json .telemetry-smoke .fuzz-findings
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -42,6 +42,7 @@ import time
 from typing import Callable, Optional, Sequence
 
 from repro.experiments import figures
+from repro.verify import InvariantViolation
 
 __all__ = ["main"]
 
@@ -61,6 +62,9 @@ _QUICK_REQUESTS = {
     "overload": 600,
     "autoscale": 500,
     "scenario": 400,
+    # fuzz sizes its cases itself; --quick shrinks the case budget, not
+    # the per-case request count (handled in _fuzz, not via --requests)
+    "fuzz": 0,
     "trace": 800,
     "fastparity": 2_000,
     "scale": 6_000,
@@ -198,7 +202,7 @@ def _chaos(args) -> str:
     """Chaos campaign: resilience report under scaled fault intensity."""
     data = figures.chaos_resilience(
         n_requests=args.requests or 6_000, seed=args.seed,
-        parallel=not args.serial, **_sweep_kwargs(args),
+        parallel=not args.serial, verify=args.oracle, **_sweep_kwargs(args),
     )
     return data.render()
 
@@ -207,7 +211,7 @@ def _resilience(args) -> str:
     """Naive vs hardened reliability under identical fault schedules."""
     data = figures.resilience_comparison(
         n_requests=args.requests or 6_000, seed=args.seed,
-        parallel=not args.serial, **_sweep_kwargs(args),
+        parallel=not args.serial, verify=args.oracle, **_sweep_kwargs(args),
     )
     out = data.render()
     comparison = data.extras["comparison"]
@@ -221,7 +225,7 @@ def _overload(args) -> str:
     """Static vs adaptive admission across the offered-load grid."""
     data = figures.overload_goodput(
         n_requests=args.requests or 4_000, seed=args.seed,
-        parallel=not args.serial, **_sweep_kwargs(args),
+        parallel=not args.serial, verify=args.oracle, **_sweep_kwargs(args),
     )
     out = data.render()
     comparison = data.extras["comparison"]
@@ -235,7 +239,7 @@ def _autoscale(args) -> str:
     """Static pool vs closed-loop autoscaler behind the dispatcher tier."""
     data = figures.autoscale_efficiency(
         n_requests=args.requests or 4_000, seed=args.seed,
-        quick=args.quick, parallel=not args.serial, **_sweep_kwargs(args),
+        quick=args.quick, parallel=not args.serial, verify=args.oracle, **_sweep_kwargs(args),
     )
     out = data.render()
     comparison = data.extras["comparison"]
@@ -283,6 +287,57 @@ def _scenario(args) -> str:
         archive=args.export_dir,
         **_sweep_kwargs(args),
     )
+    return report.render()
+
+
+def _fuzz(args) -> str:
+    """Deterministic chaos fuzzer under the invariant oracle."""
+    from pathlib import Path
+
+    from repro.verify import fuzz as fuzz_mod
+
+    if args.validate:
+        # Validate reproducer specs without running them: the --replay
+        # path if given, else every committed corpus entry.
+        paths = (
+            [Path(args.replay)]
+            if args.replay
+            else sorted(Path("tests/verify/corpus").glob("*.json"))
+        )
+        if not paths:
+            raise SystemExit("fuzz --validate: no reproducer specs found")
+        problems: list[str] = []
+        for path in paths:
+            issues = fuzz_mod.validate_spec_file(path)
+            if issues:
+                problems.append(f"{path}:")
+                problems.extend(f"  {issue}" for issue in issues)
+        if problems:
+            raise SystemExit(
+                "fuzz --validate FAILED:\n" + "\n".join(problems)
+            )
+        return f"fuzz --validate OK: {len(paths)} reproducer spec(s) well-formed"
+    if args.replay:
+        outcome = fuzz_mod.replay(args.replay)
+        if not outcome.ok:
+            raise SystemExit(
+                f"fuzz --replay {args.replay}: {outcome.status} "
+                f"[{outcome.engine}] {outcome.message}"
+            )
+        return (
+            f"fuzz --replay {args.replay}: ok on both engines "
+            f"(no violation, no divergence)"
+        )
+    budget = args.budget if args.budget is not None else (25 if args.quick else 100)
+    out_dir = args.export_dir or ".fuzz-findings"
+    report = fuzz_mod.fuzz_campaign(
+        seed=args.seed,
+        budget=budget,
+        out_dir=out_dir,
+        progress=lambda line: print(f"  [fuzz] {line}", file=sys.stderr),
+    )
+    if not report.clean:
+        raise SystemExit(report.render())
     return report.render()
 
 
@@ -569,6 +624,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "overload": (_overload, "overload campaign: goodput past saturation"),
     "autoscale": (_autoscale, "autoscale campaign: goodput vs provisioning cost"),
     "scenario": (_scenario, "declarative scenario composition (spec file or builtin)"),
+    "fuzz": (_fuzz, "deterministic chaos fuzzer under the invariant oracle"),
     "trace": (_trace, "request-lifecycle telemetry + staleness report"),
     "fastparity": (_fastparity, "fast path vs heap distribution-level parity"),
     "scale": (_scale, "large-N heap-vs-fast bench + mean-field check"),
@@ -627,7 +683,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate", action="store_true",
                         help="for `scenario`: expand and validate the spec "
                              "without running it (exits nonzero naming the "
-                             "offending axis on failure)")
+                             "offending axis on failure); for `fuzz`: "
+                             "validate reproducer specs (--replay PATH or "
+                             "the committed corpus) without running them")
+    parser.add_argument("--oracle", action="store_true",
+                        help="for `chaos`/`resilience`/`overload`/`autoscale`: "
+                             "run every cell under the inline invariant oracle "
+                             "(exits nonzero on the first violation; results "
+                             "are bit-identical to oracle-off runs)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="for `fuzz`: number of generated cases "
+                             "(default: 100, or 25 with --quick)")
+    parser.add_argument("--replay", default=None, metavar="PATH",
+                        help="for `fuzz`: replay one reproducer spec on both "
+                             "engines instead of generating cases (with "
+                             "--validate: validate it without running)")
     parser.add_argument("--servers", type=int, default=1000,
                         help="cluster size for `scale` (default: 1000)")
     parser.add_argument("--bench-file", action="append", default=None,
@@ -689,7 +759,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.result_cache = ResultCache(args.cache_dir)
     runner, _description = _COMMANDS[args.command]
     started = time.perf_counter()
-    output = runner(args)
+    try:
+        output = runner(args)
+    except InvariantViolation as violation:
+        raise SystemExit(f"invariant violation: {violation}")
     elapsed = time.perf_counter() - started
     print(output)
     cache = args.result_cache

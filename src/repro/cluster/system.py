@@ -424,6 +424,11 @@ class ServiceCluster:
         #: touch point guards with ``is not None`` (zero overhead off,
         #: same pattern as ``Simulator.trace``)
         self.telemetry = None
+        #: optional :class:`repro.verify.InvariantOracle` installed by the
+        #: experiment runner for verify-enabled configs; every touch
+        #: point guards with ``is not None`` (zero overhead off, same
+        #: pattern as telemetry)
+        self.oracle = None
         #: optional :class:`repro.cluster.reliability.ReliabilityEngine`
         #: — installed only when a policy with at least one mechanism
         #: enabled is passed, so naive runs take identical code paths
@@ -614,6 +619,8 @@ class ServiceCluster:
             # A stale poll round decided after the request already
             # finished through another path (timeout retry + chaos).
             return
+        if self.oracle is not None:
+            self.oracle.on_dispatch(request, server_id)
         # The rejection exclusion only covers the selection that just
         # committed; later retries see the full candidate set again.
         request.last_rejected_by = -1
@@ -695,6 +702,8 @@ class ServiceCluster:
                     )
         finally:
             self._runner_active = False
+        if self.oracle is not None:
+            self.oracle.on_run_end()
         return self.metrics
 
     def _on_arrival(self, index: int) -> None:
@@ -708,6 +717,8 @@ class ServiceCluster:
             service_time=float(self._service_times[index]),
             arrival_time=self.sim.now,
         )
+        if self.oracle is not None:
+            self.oracle.on_arrival(request)
         self._safe_select(client, request)
 
     def _safe_select(self, client: ClientNode, request: Request) -> None:
@@ -873,6 +884,8 @@ class ServiceCluster:
         self.metrics.record(request)
         if self.telemetry is not None:
             self.telemetry.on_request_complete(request)
+        if self.oracle is not None:
+            self.oracle.on_terminal(request, failed=False)
         self._completed += 1
         if self.dispatchers is not None:
             self.dispatchers.release(request)
@@ -941,8 +954,14 @@ class ServiceCluster:
                 self.dispatchers.release(request)
             if self.autoscaler is not None:
                 self.autoscaler.on_failure(request)
+            # Terminal failures release per-selector policy state too
+            # (least-connections charges, manager counts) — a failed
+            # request is no longer outstanding anywhere.
+            self.policy.notify_complete(self.selector_for(request), request)
             if self.reliability is not None:
                 self.reliability.on_terminal(request)
+            if self.oracle is not None:
+                self.oracle.on_terminal(request, failed=True)
             self._completed += 1
             if self._completed >= self.n_requests and self._runner_active:
                 raise _RunComplete

@@ -72,6 +72,12 @@ class CentralizedManagerPolicy(LoadBalancer):
         self.ctx.dispatch(client, request, server_id)
 
     def notify_complete(self, client, request) -> None:
+        if request.server_id < 0:
+            # Terminal failure with no recorded server (e.g. every
+            # attempt timed out before enqueueing): there is no count to
+            # release, and ``_counts[-1]`` would silently corrupt the
+            # last server's cell.
+            return
         # The completion notification is off the response path: the
         # client reports after receiving the response, and the count
         # drops when the notification reaches the manager.

@@ -326,6 +326,7 @@ def autoscale_campaign(
     cache=None,
     engine: Optional[str] = None,
     archive: Optional[str] = None,
+    verify: bool = False,
 ) -> AutoscaleReport:
     """Run the mode × policy × load × dispatcher-fault grid and report.
 
@@ -350,6 +351,10 @@ def autoscale_campaign(
         quick=quick,
     )
     cells = spec.expand()
+    if verify:
+        from repro.experiments.scenario import verify_cells
+
+        cells = verify_cells(cells)
     results = run_cells(
         cells, parallel=parallel, max_workers=max_workers, cache=cache, engine=engine
     )

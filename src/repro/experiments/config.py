@@ -120,6 +120,15 @@ _AUTOSCALER_PARAM_KEYS = frozenset(
     }
 )
 
+#: literal mirror of :class:`repro.verify.InvariantOracle` constructor
+#: knobs (cross-checked against the signature by a unit test)
+_VERIFY_PARAM_KEYS = frozenset(
+    {
+        "enabled",
+        "check_interval",
+    }
+)
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -186,6 +195,14 @@ class SimulationConfig:
     closed-loop autoscaler, which requires the availability subsystem
     (scale actions actuate via publish/withdrawal). Both participate in
     the result-cache key.
+
+    ``verify_params`` — :class:`repro.verify.InvariantOracle` knobs
+    (``enabled``, ``check_interval``) — installs the inline invariant
+    oracle (DESIGN.md §17). The oracle draws no randomness and
+    schedules no events, so verify-enabled runs stay bit-identical
+    across both exact engines; an empty dict (the default) keeps
+    ``cluster.oracle`` as ``None`` and every code path bit-identical
+    to pre-oracle builds.
     """
 
     policy: str = "polling"
@@ -212,6 +229,7 @@ class SimulationConfig:
     overload_params: dict[str, Any] = field(default_factory=dict)
     dispatcher_params: dict[str, Any] = field(default_factory=dict)
     autoscaler_params: dict[str, Any] = field(default_factory=dict)
+    verify_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in _MODELS:
@@ -260,6 +278,12 @@ class SimulationConfig:
                 f"unknown autoscaler_params key(s): {sorted(unknown)} "
                 f"(allowed: {sorted(_AUTOSCALER_PARAM_KEYS)})"
             )
+        unknown = set(self.verify_params) - _VERIFY_PARAM_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown verify_params key(s): {sorted(unknown)} "
+                f"(allowed: {sorted(_VERIFY_PARAM_KEYS)})"
+            )
         if not 0 < self.load:
             raise ValueError(f"load must be > 0, got {self.load}")
         if self.n_requests < 10:
@@ -284,7 +308,8 @@ class SimulationConfig:
         shedding = " +overload" if self.overload_params else ""
         tier = " +dispatchers" if self.dispatcher_params else ""
         scaling = " +autoscale" if self.autoscaler_params else ""
+        verify = " +verify" if self.verify_params else ""
         return (
             f"{self.policy}({params}) {self.workload} load={self.load:.0%} "
-            f"[{self.model}]{chaos}{hardened}{shedding}{tier}{scaling}"
+            f"[{self.model}]{chaos}{hardened}{shedding}{tier}{scaling}{verify}"
         )

@@ -435,6 +435,7 @@ def chaos_resilience(
     cache=None,
     engine: Optional[str] = None,
     archive: Optional[str] = None,
+    verify: bool = False,
 ) -> FigureData:
     """Chaos campaign: policy resilience under scaled fault intensity.
 
@@ -454,6 +455,7 @@ def chaos_resilience(
         cache=cache,
         engine=engine,
         archive=archive,
+        verify=verify,
     )
     return FigureData(
         "Chaos campaign: resilience under scaled fault intensity",
@@ -472,6 +474,7 @@ def resilience_comparison(
     cache=None,
     engine: Optional[str] = None,
     archive: Optional[str] = None,
+    verify: bool = False,
 ) -> FigureData:
     """Naive vs hardened: the reliability layer under identical faults.
 
@@ -494,6 +497,7 @@ def resilience_comparison(
         cache=cache,
         engine=engine,
         archive=archive,
+        verify=verify,
     )
     return FigureData(
         "Reliability layer: naive vs hardened under identical fault schedules",
@@ -512,6 +516,7 @@ def overload_goodput(
     cache=None,
     engine: Optional[str] = None,
     archive: Optional[str] = None,
+    verify: bool = False,
 ) -> FigureData:
     """Overload campaign: goodput past saturation, static vs adaptive.
 
@@ -538,6 +543,7 @@ def overload_goodput(
         cache=cache,
         engine=engine,
         archive=archive,
+        verify=verify,
     )
     return FigureData(
         "Overload control: goodput past saturation, static vs adaptive",
@@ -557,6 +563,7 @@ def autoscale_efficiency(
     cache=None,
     engine: Optional[str] = None,
     archive: Optional[str] = None,
+    verify: bool = False,
 ) -> FigureData:
     """Autoscale campaign: goodput vs provisioning cost behind a
     fault-tolerant dispatcher tier.
@@ -587,6 +594,7 @@ def autoscale_efficiency(
         cache=cache,
         engine=engine,
         archive=archive,
+        verify=verify,
     )
     return FigureData(
         "Autoscaling: goodput vs provisioning cost, static vs closed-loop",

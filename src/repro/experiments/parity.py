@@ -214,6 +214,24 @@ def parity_suite(
             },
         )
     )
+    # invariant oracle enabled: the oracle chains onto the trace hook
+    # and scans every few events but draws no randomness and schedules
+    # nothing, so these two must stay bit-identical across engines like
+    # any other config — one chaos+reliability cell, one full-stack cell
+    configs.append(
+        chaos_base.with_updates(
+            policy="polling",
+            policy_params={"poll_size": 3, "discard_slow": True},
+            reliability_params=hardened_reliability_params(),
+            verify_params={"enabled": True, "check_interval": 4},
+        )
+    )
+    configs.append(
+        autoscale_base.with_updates(
+            policy="least_connections",
+            verify_params={"enabled": True, "check_interval": 8},
+        )
+    )
     return configs
 
 

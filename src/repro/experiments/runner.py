@@ -199,6 +199,12 @@ def build_cluster(config: SimulationConfig) -> tuple[ServiceCluster, float]:
         from repro.telemetry import TelemetryCollector
 
         cluster.telemetry = TelemetryCollector(cluster, **config.telemetry)
+    if config.verify_params:
+        from repro.verify import InvariantOracle
+
+        oracle = InvariantOracle(cluster, **config.verify_params)
+        if oracle.enabled:
+            cluster.oracle = oracle
     return cluster, nominal_rho
 
 

@@ -659,6 +659,27 @@ def run_cells(
     return parallel_sweep(configs, parallel=False, cache=cache, engine=engine)
 
 
+def verify_cells(cells: Sequence[ScenarioCell]) -> list[ScenarioCell]:
+    """Copies of ``cells`` with the invariant oracle enabled.
+
+    Used by the campaign ``verify=True`` / CLI ``--oracle`` path: every
+    run re-executes under :class:`repro.verify.InvariantOracle`, and a
+    violation propagates out of the sweep as
+    :class:`repro.verify.InvariantViolation`. Oracle-enabled configs
+    cache under their own key (``verify_params`` participates), so
+    verified results never shadow the plain ones.
+    """
+    from dataclasses import replace
+
+    return [
+        replace(
+            cell,
+            config=cell.config.with_updates(verify_params={"enabled": True}),
+        )
+        for cell in cells
+    ]
+
+
 # ----------------------------------------------------------------------
 # the report
 # ----------------------------------------------------------------------

@@ -111,6 +111,8 @@ def fastpath_violations(config: "SimulationConfig") -> list[str]:
         violations.append("dispatcher_params (dispatcher-tier routing)")
     if config.autoscaler_params:
         violations.append("autoscaler_params (closed-loop scaling)")
+    if config.verify_params:
+        violations.append("verify_params (inline invariant oracle)")
     return violations
 
 

@@ -138,8 +138,12 @@ def test_campaign_archive(tmp_path):
     ]
 
 
-def test_default_grid_covers_three_policies():
-    assert len(DEFAULT_POLICIES) == 3
+def test_default_grid_covers_five_policies():
+    assert len(DEFAULT_POLICIES) == 5
+    # tail-append contract: the legacy triple stays in front so the
+    # [:1]/[:2] slices used all over this suite keep their meaning
+    assert [p[1] for p in DEFAULT_POLICIES[:3]] == ["random", "polling", "broadcast"]
+    assert {p[1] for p in DEFAULT_POLICIES[3:]} == {"jiq", "least_connections"}
     assert DEFAULT_INTENSITIES[0] == 0.0
 
 

@@ -44,6 +44,8 @@ def test_parity_suite_shape():
     assert any(c.reliability_params for c in suite)
     # Dispatcher-tier routing and autoscaler control ticks too.
     assert any(c.dispatcher_params and c.autoscaler_params for c in suite)
+    # Oracle-on cells: the invariant checker must be engine-invariant.
+    assert sum(1 for c in suite if c.verify_params) >= 2
 
 
 def test_single_config_bit_identical():

@@ -1,0 +1,187 @@
+"""Fault-schedule fuzzer: deterministic sampling, validation, shrinking.
+
+The fuzzer's guarantees are structural: a spec is a pure function of
+``(seed, case)``; malformed specs are rejected with named problems
+before any simulation runs; and the shrinker reduces a failing schedule
+to a minimal reproducer while preserving the failure class. All three
+are testable without finding a real bug — the shrinker test injects a
+synthetic ``run_fn`` whose failure condition is known exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.verify import fuzz
+
+
+def test_sample_case_is_deterministic():
+    a = fuzz.sample_case(0, 7)
+    b = fuzz.sample_case(0, 7)
+    assert a == b
+    assert fuzz.sample_case(0, 8) != a
+    assert fuzz.sample_case(1, 7) != a
+
+
+def test_sample_case_json_round_trips_exactly():
+    spec = fuzz.sample_case(3, 11)
+    assert json.loads(json.dumps(spec)) == spec
+
+
+def test_sampled_specs_validate():
+    for case in range(30):
+        spec = fuzz.sample_case(0, case)
+        assert fuzz.validate_spec(spec) == [], (case, fuzz.validate_spec(spec))
+
+
+def test_sampled_specs_exclude_manager_policy():
+    """The manager policy's count drift under timeout retries is a known
+    exclusion (see fuzz.py) — it must never enter the sampled pool."""
+    policies = {
+        fuzz.sample_case(0, case)["config"].get("policy") for case in range(60)
+    }
+    assert "manager" not in policies
+    assert len(policies) >= 3  # the pool is actually being explored
+
+
+@pytest.mark.parametrize(
+    "mutate, expected",
+    [
+        (lambda s: s.update(schema=99), "schema"),
+        (lambda s: s.update(config="nope"), "config"),
+        (lambda s: s["config"].update(engine="heap"), "engine"),
+        (lambda s: s["config"].update(verify_params={"enabled": True}), "verify_params"),
+        (lambda s: s.update(check_interval=0), "check_interval"),
+        (lambda s: s["schedule"].append({"kind": "meteor", "at_frac": 0.5}), "kind"),
+        (lambda s: s["schedule"].append({"kind": "crash", "at_frac": 2.0, "node": 0}), "at_frac"),
+        (lambda s: s["schedule"].append({"kind": "crash", "at_frac": 0.5}), "node"),
+        (lambda s: s["config"].update(chaos_params={"bogus_knob": 1}), "config rejected"),
+    ],
+)
+def test_validate_spec_names_the_problem(mutate, expected):
+    spec = fuzz.sample_case(0, 0)
+    mutate(spec)
+    problems = fuzz.validate_spec(spec)
+    assert problems, f"mutation not caught ({expected})"
+    assert any(expected in p for p in problems), problems
+
+
+def test_load_spec_raises_on_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": 1}')
+    with pytest.raises(ValueError, match="config"):
+        fuzz.load_spec(path)
+    assert fuzz.validate_spec_file(path)
+    assert fuzz.validate_spec_file(tmp_path / "missing.json")
+
+
+def test_save_load_round_trip(tmp_path):
+    spec = fuzz.sample_case(0, 2)
+    path = fuzz.save_spec(spec, tmp_path / "spec.json")
+    assert fuzz.load_spec(path) == spec
+
+
+def test_run_spec_is_deterministic():
+    spec = fuzz.sample_case(0, 1)
+    spec["config"]["n_requests"] = 80
+    first = fuzz.run_spec(spec)
+    second = fuzz.run_spec(spec)
+    assert first == second
+    assert first.status == "ok", first
+
+
+def test_outcome_signature_extracts_category():
+    outcome = fuzz.CaseOutcome(
+        status="violation",
+        message="[t=1.000000000] conservation: request 5 arrived twice",
+        engine="heap",
+    )
+    assert fuzz.outcome_signature(outcome) == ("violation", "conservation")
+    assert fuzz.outcome_signature(fuzz.CaseOutcome(status="ok")) == ("ok",)
+
+
+# ----------------------------------------------------------------------
+# shrinker
+# ----------------------------------------------------------------------
+
+
+def _synthetic_spec(n_events=24):
+    """A hand-built spec whose 'violation' is fully under test control."""
+    return {
+        "schema": fuzz.SPEC_SCHEMA,
+        "fuzz_seed": 0,
+        "case": 0,
+        "check_interval": 8,
+        "config": {
+            "policy": "random",
+            "load": 1.0,
+            "n_servers": 8,
+            "n_requests": 400,
+            "seed": 0,
+            "cluster_params": {},
+            "chaos_params": {"loss": 0.01},
+            "overload_params": {"sojourn_target": 0.1},
+        },
+        "schedule": [
+            {"kind": "crash", "at_frac": i / n_events, "node": i % 4}
+            for i in range(n_events)
+        ],
+    }
+
+
+def test_ddmin_finds_single_culprit():
+    # fails iff item 13 is present — ddmin must isolate exactly it
+    result = fuzz._ddmin(list(range(24)), lambda items: 13 in items)
+    assert result == [13]
+
+
+def test_shrinker_hits_25_percent_bound():
+    """ISSUE acceptance: for a synthetic violation triggered by one
+    specific schedule event, the shrunk schedule is <= 25% of the
+    original length (here: 1 of 24 events survives)."""
+    spec = _synthetic_spec(n_events=24)
+    culprit = spec["schedule"][13]
+
+    def run_fn(candidate):
+        # the "violation" fires iff the culprit event survives AND the
+        # overload subsystem is still configured (so phase 3 can only
+        # drop the other optional dicts)
+        triggered = any(e == culprit for e in candidate.get("schedule", []))
+        if triggered and "overload_params" in candidate["config"]:
+            return ("violation", "synthetic")
+        return ("ok",)
+
+    result = fuzz.shrink_spec(spec, run_fn=run_fn)
+    assert result.original_events == 24
+    assert result.final_events == 1
+    assert result.final_events <= 0.25 * result.original_events
+    assert result.spec["schedule"] == [culprit]
+    # phases 2-4 shrank the rest of the spec too
+    assert result.final_requests < result.original_requests
+    assert result.spec["config"]["n_servers"] < 8
+    assert "chaos_params" not in result.spec["config"]
+    assert "overload_params" in result.spec["config"]
+    assert result.steps > 0
+
+
+def test_shrinker_preserves_failure_signature_not_any_failure():
+    """A candidate that fails *differently* must not be accepted."""
+    spec = _synthetic_spec(n_events=8)
+
+    def run_fn(candidate):
+        events = candidate.get("schedule", [])
+        if not events:
+            return ("violation", "different-category")
+        return ("violation", "target") if len(events) >= 2 else ("ok",)
+
+    result = fuzz.shrink_spec(spec, run_fn=run_fn, target=("violation", "target"))
+    assert result.final_events == 2
+    assert fuzz.outcome_signature  # signature helper stays importable
+
+
+def test_fuzz_campaign_smoke(tmp_path):
+    report = fuzz.fuzz_campaign(seed=0, budget=3, out_dir=tmp_path)
+    assert report.clean, report.render()
+    assert report.n_ok == 3
+    assert "3 clean" in report.render()
+    assert not list(tmp_path.glob("*.json"))  # no findings -> no files
